@@ -1,0 +1,65 @@
+// Command biasgen generates RC4 keystream statistics datasets and saves
+// them for later analysis by biastest — the repository's version of the
+// paper's §3.2 distributed worker system.
+//
+// Usage:
+//
+//	biasgen -kind single -positions 513 -keys 1048576 -out single.gob
+//	biasgen -kind digraph -positions 64 -keys 1048576 -out consec.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rc4break/internal/dataset"
+)
+
+func main() {
+	kind := flag.String("kind", "single", "dataset kind: single | digraph")
+	positions := flag.Int("positions", 64, "keystream positions to cover")
+	keys := flag.Uint64("keys", 1<<20, "number of random 16-byte RC4 keys")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "output file (required)")
+	seed := flag.Uint64("seed", 0, "master key seed (first 8 bytes of the AES master)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "biasgen: -out is required")
+		os.Exit(2)
+	}
+	var master [16]byte
+	for i := 0; i < 8; i++ {
+		master[i] = byte(*seed >> (8 * i))
+	}
+	cfg := dataset.Config{Keys: *keys, Workers: *workers, Master: master}
+
+	var factory func() dataset.Observer
+	switch *kind {
+	case "single":
+		factory = func() dataset.Observer { return dataset.NewSingleByteCounts(*positions) }
+	case "digraph":
+		factory = func() dataset.Observer { return dataset.NewDigraphCounts(*positions) }
+	default:
+		fmt.Fprintf(os.Stderr, "biasgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	obs, err := dataset.Run(cfg, factory)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biasgen:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biasgen:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := dataset.Save(f, obs); err != nil {
+		fmt.Fprintln(os.Stderr, "biasgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s dataset: %d keys x %d positions -> %s\n", *kind, *keys, *positions, *out)
+}

@@ -1,0 +1,159 @@
+// Command biastest analyses a dataset produced by biasgen with the §3.1
+// hypothesis-test pipeline: chi-squared uniformity per position for
+// single-byte datasets, the Fuchs–Kenett M-test per position for digraph
+// datasets, Holm correction across all positions, and a report of the
+// rejected (i.e. biased) positions with their strongest cells.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rc4break/internal/dataset"
+	"rc4break/internal/stats"
+)
+
+func main() {
+	in := flag.String("in", "", "dataset file from biasgen (required)")
+	top := flag.Int("top", 5, "strongest cells to print per biased position")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "biastest: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biastest:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	obs, err := dataset.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "biastest:", err)
+		os.Exit(1)
+	}
+
+	switch d := obs.(type) {
+	case *dataset.SingleByteCounts:
+		analyseSingle(d, *top)
+	case *dataset.DigraphCounts:
+		analyseDigraph(d, *top)
+	default:
+		fmt.Fprintf(os.Stderr, "biastest: unsupported dataset type %T\n", obs)
+		os.Exit(1)
+	}
+}
+
+func analyseSingle(d *dataset.SingleByteCounts, top int) {
+	fmt.Printf("single-byte dataset: %d keys, positions 1..%d\n", d.Keys, d.Positions)
+	pvals := make([]float64, d.Positions)
+	for pos := 1; pos <= d.Positions; pos++ {
+		r, err := stats.ChiSquareUniform(d.Position(pos))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "biastest:", err)
+			os.Exit(1)
+		}
+		pvals[pos-1] = r.P
+	}
+	adj := stats.HolmCorrection(pvals)
+	rejected := 0
+	for pos := 1; pos <= d.Positions; pos++ {
+		if adj[pos-1] >= stats.SignificanceLevel {
+			continue
+		}
+		rejected++
+		fmt.Printf("Z%-4d biased (holm p = %.2e); strongest values:", pos, adj[pos-1])
+		printTopCells(d.Position(pos), d.Keys, top)
+	}
+	fmt.Printf("%d of %d positions rejected at p < %.0e (family-wise)\n",
+		rejected, d.Positions, stats.SignificanceLevel)
+}
+
+func analyseDigraph(d *dataset.DigraphCounts, top int) {
+	fmt.Printf("digraph dataset: %d keys, positions 1..%d\n", d.Keys, d.Positions)
+	pvals := make([]float64, d.Positions)
+	for pos := 1; pos <= d.Positions; pos++ {
+		r, err := stats.MTest(d.Table(pos), 256)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "biastest:", err)
+			os.Exit(1)
+		}
+		pvals[pos-1] = r.P
+	}
+	adj := stats.HolmCorrection(pvals)
+	rejected := 0
+	for pos := 1; pos <= d.Positions; pos++ {
+		if adj[pos-1] >= stats.SignificanceLevel {
+			continue
+		}
+		rejected++
+		fmt.Printf("(Z%d,Z%d) dependent (holm p = %.2e)\n", pos, pos+1, adj[pos-1])
+		printTopPairs(d, pos, top)
+	}
+	fmt.Printf("%d of %d positions rejected at p < %.0e (family-wise)\n",
+		rejected, d.Positions, stats.SignificanceLevel)
+}
+
+func printTopCells(counts []uint64, keys uint64, top int) {
+	type cell struct {
+		v   int
+		dev float64
+	}
+	u := float64(keys) / 256
+	cells := make([]cell, 256)
+	for v, c := range counts {
+		cells[v] = cell{v, (float64(c) - u) / u}
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		return abs(cells[a].dev) > abs(cells[b].dev)
+	})
+	for i := 0; i < top && i < len(cells); i++ {
+		fmt.Printf("  %d(%+.4f)", cells[i].v, cells[i].dev)
+	}
+	fmt.Println()
+}
+
+func printTopPairs(d *dataset.DigraphCounts, pos, top int) {
+	// Report cells by proportion-test z against the marginal expectation —
+	// the §3.1 step that locates which value pairs carry the dependency.
+	first, second := d.Marginals(pos)
+	tbl := d.Table(pos)
+	type cell struct {
+		x, y int
+		z    float64
+	}
+	var cells []cell
+	n := float64(d.Keys)
+	for x := 0; x < 256; x++ {
+		px := float64(first[x]) / n
+		for y := 0; y < 256; y++ {
+			p0 := px * float64(second[y]) / n
+			if p0 <= 0 || p0 >= 1 {
+				continue
+			}
+			r, err := stats.ProportionTest(tbl[x*256+y], d.Keys, p0)
+			if err != nil {
+				continue
+			}
+			if abs(r.Statistic) > 4 {
+				cells = append(cells, cell{x, y, r.Statistic})
+			}
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return abs(cells[a].z) > abs(cells[b].z) })
+	if len(cells) > top {
+		cells = cells[:top]
+	}
+	for _, c := range cells {
+		fmt.Printf("  (%d,%d) z=%+.1f\n", c.x, c.y, c.z)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

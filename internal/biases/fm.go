@@ -1,0 +1,181 @@
+// Package biases holds the analytic models of the RC4 keystream biases the
+// paper catalogs and exploits: the generalized Fluhrer–McGrew digraph biases
+// (Table 1), Mantin's ABSAB digraph-repetition bias (eq. 1), the short-term
+// single-byte and pair biases of §2.1.1/§3.3, and the long-term biases of
+// §3.4. It also provides samplers that draw keystream bytes from these
+// models, powering the "model mode" attack simulations (the paper's own
+// Figures 7, 8 and 10 are simulations in the same sense).
+package biases
+
+import "math"
+
+// Uniform single- and double-byte probabilities.
+const (
+	USingle = 1.0 / 256
+	UPair   = 1.0 / 65536
+)
+
+// FMDigraph identifies one generalized Fluhrer–McGrew digraph class.
+type FMDigraph int
+
+// The Fluhrer–McGrew digraph classes of Table 1.
+const (
+	FMZeroZeroI1 FMDigraph = iota // (0,0) at i = 1
+	FMZeroZero                    // (0,0) at i != 1, 255
+	FMZeroOne                     // (0,1) at i != 0, 1
+	FMZeroIPlus1                  // (0,i+1) at i != 0, 255 (negative)
+	FMIPlus1_255                  // (i+1,255) at i != 254
+	FM129_129                     // (129,129) at i = 2
+	FM255_IPlus1                  // (255,i+1) at i != 1, 254
+	FM255_IPlus2                  // (255,i+2) at i in [1,252]
+	FM255_Zero                    // (255,0) at i = 254
+	FM255_One                     // (255,1) at i = 255
+	FM255_Two                     // (255,2) at i = 0, 1
+	FM255_255                     // (255,255) at i != 254 (negative)
+	fmCount
+)
+
+var fmNames = [...]string{
+	"(0,0)@i=1", "(0,0)", "(0,1)", "(0,i+1)", "(i+1,255)", "(129,129)@i=2",
+	"(255,i+1)", "(255,i+2)", "(255,0)@i=254", "(255,1)@i=255", "(255,2)@i=0,1",
+	"(255,255)",
+}
+
+// String names the digraph class as in Table 1.
+func (d FMDigraph) String() string {
+	if d < 0 || d >= fmCount {
+		return "unknown"
+	}
+	return fmNames[d]
+}
+
+// RelativeBias returns the long-term relative bias q of the class, i.e. its
+// probability is 2^-16 * (1 + q).
+func (d FMDigraph) RelativeBias() float64 {
+	switch d {
+	case FMZeroZeroI1:
+		return 1.0 / 128 // 2^-7
+	case FMZeroIPlus1, FM255_255:
+		return -1.0 / 256
+	default:
+		return 1.0 / 256
+	}
+}
+
+// Probability returns the long-term probability of the digraph class.
+func (d FMDigraph) Probability() float64 {
+	return UPair * (1 + d.RelativeBias())
+}
+
+// FMCell is a concrete biased digraph cell at a specific PRGA counter.
+type FMCell struct {
+	X, Y  byte
+	P     float64 // modeled probability of the cell
+	Class FMDigraph
+}
+
+// FMCells returns the biased digraph cells active when the first byte of
+// the digraph is produced at PRGA counter i (Table 1's conditions). The
+// remaining 65536-len(cells) cells are modeled as uniform; the recovery
+// code exploits exactly this sparsity via the eq. 15 optimization.
+func FMCells(i int) []FMCell {
+	i &= 0xff
+	ip1 := byte(i + 1)
+	ip2 := byte(i + 2)
+	var cells []FMCell
+	add := func(x, y byte, class FMDigraph) {
+		cells = append(cells, FMCell{X: x, Y: y, P: class.Probability(), Class: class})
+	}
+	// (0,0)
+	if i == 1 {
+		add(0, 0, FMZeroZeroI1)
+	} else if i != 255 {
+		add(0, 0, FMZeroZero)
+	}
+	// (0,1)
+	if i != 0 && i != 1 {
+		add(0, 1, FMZeroOne)
+	}
+	// (0,i+1): skip when it would collide with (0,0) or (0,1) cells above.
+	if i != 0 && i != 255 && ip1 != 0 && ip1 != 1 {
+		add(0, ip1, FMZeroIPlus1)
+	}
+	// (i+1,255)
+	if i != 254 && ip1 != 255 && ip1 != 0 {
+		// ip1 == 255 (i=254) excluded by condition; ip1 == 0 would collide
+		// with the (0,y) family — Table 1's conditions keep these disjoint
+		// because i=255 rows are excluded there.
+		add(ip1, 255, FMIPlus1_255)
+	}
+	// (129,129)
+	if i == 2 {
+		add(129, 129, FM129_129)
+	}
+	// (255,i+1)
+	if i != 1 && i != 254 && ip1 != 0 && ip1 != 1 && ip1 != 2 && ip1 != 255 {
+		add(255, ip1, FM255_IPlus1)
+	}
+	// (255,i+2)
+	if i >= 1 && i <= 252 && ip2 != 0 && ip2 != 1 && ip2 != 2 && ip2 != 255 {
+		add(255, ip2, FM255_IPlus2)
+	}
+	// (255,0)
+	if i == 254 {
+		add(255, 0, FM255_Zero)
+	}
+	// (255,1)
+	if i == 255 {
+		add(255, 1, FM255_One)
+	}
+	// (255,2)
+	if i == 0 || i == 1 {
+		add(255, 2, FM255_Two)
+	}
+	// (255,255)
+	if i != 254 {
+		add(255, 255, FM255_255)
+	}
+	return cells
+}
+
+// FMDistribution materializes the full 65536-cell digraph distribution at
+// counter i, normalized to sum to 1. Row-major: index = x*256 + y.
+func FMDistribution(i int) []float64 {
+	dist := make([]float64, 65536)
+	for n := range dist {
+		dist[n] = UPair
+	}
+	for _, c := range FMCells(i) {
+		dist[int(c.X)*256+int(c.Y)] = c.P
+	}
+	var sum float64
+	for _, p := range dist {
+		sum += p
+	}
+	inv := 1 / sum
+	for n := range dist {
+		dist[n] *= inv
+	}
+	return dist
+}
+
+// ABSABAlpha is Mantin's ABSAB bias strength α(g) (eq. 1/18): the
+// probability that the digraph at position r repeats after a gap of g bytes,
+//
+//	Pr[(Zr, Zr+1) = (Zr+g+2, Zr+g+3)] = 2^-16 (1 + 2^-8 e^{(-4-8g)/256}).
+func ABSABAlpha(gap int) float64 {
+	return UPair * (1 + math.Exp((-4-8*float64(gap))/256)/256)
+}
+
+// ABSABCopyProb converts α(g) into the generative model used by the
+// samplers: with probability β the later digraph copies the earlier one,
+// otherwise it is uniform. Matching marginals gives
+// α = β + (1-β)·2^-16, i.e. β = (α - 2^-16) / (1 - 2^-16).
+func ABSABCopyProb(gap int) float64 {
+	a := ABSABAlpha(gap)
+	return (a - UPair) / (1 - UPair)
+}
+
+// MaxUsefulGap is the largest ABSAB gap the attacks use. The paper verified
+// the bias empirically up to gaps of at least 135 and uses 128 (§4.2).
+const MaxUsefulGap = 128

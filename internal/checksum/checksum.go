@@ -1,0 +1,62 @@
+// Package checksum provides the integrity checksums the TKIP attack prunes
+// candidates with (§5.3): the CRC-32 Integrity Check Value appended to every
+// TKIP MPDU, and the one's-complement Internet checksums of the IP and TCP
+// headers. The attack exploits exactly this redundancy — a decryption
+// candidate whose ICV (or IP/TCP checksum) does not verify cannot be the
+// true plaintext, so candidate lists can be walked until a consistent packet
+// appears.
+package checksum
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// ICVSize is the size of the TKIP/WEP Integrity Check Value in bytes.
+const ICVSize = 4
+
+// ICV computes the 4-byte TKIP Integrity Check Value over data: the IEEE
+// CRC-32 serialized little-endian, as appended (before encryption) to the
+// MPDU payload in WEP and TKIP.
+func ICV(data []byte) [ICVSize]byte {
+	var icv [ICVSize]byte
+	binary.LittleEndian.PutUint32(icv[:], crc32.ChecksumIEEE(data))
+	return icv
+}
+
+// VerifyICV reports whether the final 4 bytes of packet are the correct ICV
+// of everything before them. It returns false for packets shorter than the
+// ICV itself.
+func VerifyICV(packet []byte) bool {
+	if len(packet) < ICVSize {
+		return false
+	}
+	body := packet[:len(packet)-ICVSize]
+	want := ICV(body)
+	got := packet[len(packet)-ICVSize:]
+	return want[0] == got[0] && want[1] == got[1] && want[2] == got[2] && want[3] == got[3]
+}
+
+// Internet computes the 16-bit one's-complement Internet checksum (RFC 1071)
+// over data, as used in the IPv4 header and the TCP pseudo-header sum. An
+// odd trailing byte is padded with zero, per the RFC.
+func Internet(data []byte) uint16 {
+	var sum uint32
+	n := len(data) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// InternetValid reports whether data (with its embedded checksum field left
+// in place) sums to the all-ones complement, i.e. verifies.
+func InternetValid(data []byte) bool {
+	return Internet(data) == 0
+}

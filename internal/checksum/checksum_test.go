@@ -1,0 +1,105 @@
+package checksum
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestICVKnownValue(t *testing.T) {
+	// CRC-32/IEEE of "123456789" is 0xCBF43926.
+	icv := ICV([]byte("123456789"))
+	if got := binary.LittleEndian.Uint32(icv[:]); got != 0xCBF43926 {
+		t.Errorf("ICV = %#x, want 0xCBF43926", got)
+	}
+}
+
+func TestVerifyICV(t *testing.T) {
+	body := []byte("the packet body to protect")
+	icv := ICV(body)
+	pkt := append(append([]byte{}, body...), icv[:]...)
+	if !VerifyICV(pkt) {
+		t.Fatal("valid packet rejected")
+	}
+	pkt[3] ^= 0x01
+	if VerifyICV(pkt) {
+		t.Fatal("corrupted packet accepted")
+	}
+	if VerifyICV([]byte{1, 2, 3}) {
+		t.Fatal("short packet accepted")
+	}
+}
+
+func TestVerifyICVProperty(t *testing.T) {
+	// Any body with its true ICV verifies; flipping any single bit breaks it.
+	f := func(body []byte, bit uint16) bool {
+		icv := ICV(body)
+		pkt := append(append([]byte{}, body...), icv[:]...)
+		if !VerifyICV(pkt) {
+			return false
+		}
+		i := int(bit) % (len(pkt) * 8)
+		pkt[i/8] ^= 1 << (i % 8)
+		return !VerifyICV(pkt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetChecksumRFC1071Example(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum ^0xddf2.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Internet(data); got != ^uint16(0xddf2) {
+		t.Errorf("Internet = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestInternetOddLength(t *testing.T) {
+	// Odd byte padded with zero: [0x12, 0x34, 0x56] == [0x12 0x34 0x56 0x00].
+	odd := Internet([]byte{0x12, 0x34, 0x56})
+	even := Internet([]byte{0x12, 0x34, 0x56, 0x00})
+	if odd != even {
+		t.Errorf("odd %#x != padded even %#x", odd, even)
+	}
+}
+
+func TestInternetValidRoundTrip(t *testing.T) {
+	// Writing the computed checksum into a zeroed field yields a datagram
+	// that validates — exactly how the attack checks candidate IP headers.
+	f := func(data []byte) bool {
+		if len(data) < 4 {
+			return true
+		}
+		hdr := append([]byte{}, data...)
+		hdr[2], hdr[3] = 0, 0 // pretend bytes 2:4 are the checksum field
+		ck := Internet(hdr)
+		binary.BigEndian.PutUint16(hdr[2:], ck)
+		return InternetValid(hdr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetEmpty(t *testing.T) {
+	if got := Internet(nil); got != 0xffff {
+		t.Errorf("checksum of empty = %#x, want 0xffff", got)
+	}
+}
+
+func BenchmarkICV60(b *testing.B) {
+	data := make([]byte, 60)
+	b.SetBytes(60)
+	for n := 0; n < b.N; n++ {
+		ICV(data)
+	}
+}
+
+func BenchmarkInternet20(b *testing.B) {
+	data := make([]byte, 20)
+	b.SetBytes(20)
+	for n := 0; n < b.N; n++ {
+		Internet(data)
+	}
+}

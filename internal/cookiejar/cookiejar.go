@@ -1,0 +1,163 @@
+// Package cookiejar models the browser cookie-store behaviour the §6.1
+// request manipulation abuses: secure cookies guarantee confidentiality but
+// NOT integrity, so an attacker controlling a plaintext HTTP channel to the
+// same domain can overwrite, remove, or inject cookies around the secure
+// auth cookie (RFC 6265 §8.5/§8.6, cited as [3, 4.1.2.5] in the paper).
+// The jar reproduces the pieces the attack needs: Set-Cookie processing,
+// deletion via expiry, the secure-flag send rule, and — critically — the
+// ordering rule that decides where the auth cookie lands in the Cookie
+// header (RFC 6265 §5.4: longer paths first, then earlier creation time
+// first).
+package cookiejar
+
+import (
+	"errors"
+	"sort"
+	"strings"
+)
+
+// Cookie is one stored cookie.
+type Cookie struct {
+	Name     string
+	Value    string
+	Path     string
+	Secure   bool
+	creation int // logical creation time for §5.4 ordering
+	expired  bool
+}
+
+// Jar is the cookie store of one browser profile for one domain.
+type Jar struct {
+	cookies []*Cookie
+	clock   int
+}
+
+// ErrBadSetCookie reports an unparseable Set-Cookie line.
+var ErrBadSetCookie = errors.New("cookiejar: malformed Set-Cookie")
+
+// SetCookie processes one Set-Cookie header value received over the given
+// channel. overTLS records whether the response arrived on a secure
+// channel; per RFC 6265 a plaintext response may still set or overwrite a
+// Secure cookie — the integrity gap the attack rides on. (Later RFC 6265bis
+// "Strict Secure Cookies" closes this; the paper predates it.)
+func (j *Jar) SetCookie(header string, overTLS bool) error {
+	_ = overTLS // kept for call-site clarity: the classic rule ignores it
+	parts := strings.Split(header, ";")
+	nv := strings.SplitN(strings.TrimSpace(parts[0]), "=", 2)
+	if len(nv) != 2 || nv[0] == "" {
+		return ErrBadSetCookie
+	}
+	c := &Cookie{Name: nv[0], Value: nv[1], Path: "/"}
+	for _, attr := range parts[1:] {
+		attr = strings.TrimSpace(attr)
+		switch {
+		case strings.EqualFold(attr, "Secure"):
+			c.Secure = true
+		case strings.HasPrefix(strings.ToLower(attr), "path="):
+			c.Path = attr[len("path="):]
+		case strings.HasPrefix(strings.ToLower(attr), "max-age="):
+			if strings.TrimPrefix(strings.ToLower(attr), "max-age=") == "0" {
+				c.expired = true
+			}
+		}
+	}
+	// Same (name, path) replaces in place but KEEPS the original creation
+	// time (RFC 6265 §5.3 step 11.3) — which is why overwriting alone does
+	// not reorder, and the attack must delete-then-recreate.
+	for i, old := range j.cookies {
+		if old.Name == c.Name && old.Path == c.Path {
+			if c.expired {
+				j.cookies = append(j.cookies[:i], j.cookies[i+1:]...)
+				return nil
+			}
+			c.creation = old.creation
+			j.cookies[i] = c
+			return nil
+		}
+	}
+	if c.expired {
+		return nil
+	}
+	j.clock++
+	c.creation = j.clock
+	j.cookies = append(j.cookies, c)
+	return nil
+}
+
+// Header renders the Cookie request-header value for a request over the
+// given channel, applying the RFC 6265 §5.4 rules: secure cookies only on
+// TLS, longer paths first, then earlier creation first.
+func (j *Jar) Header(overTLS bool) string {
+	var send []*Cookie
+	for _, c := range j.cookies {
+		if c.Secure && !overTLS {
+			continue
+		}
+		send = append(send, c)
+	}
+	sort.SliceStable(send, func(a, b int) bool {
+		if len(send[a].Path) != len(send[b].Path) {
+			return len(send[a].Path) > len(send[b].Path)
+		}
+		return send[a].creation < send[b].creation
+	})
+	var b strings.Builder
+	for i, c := range send {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(c.Name)
+		b.WriteString("=")
+		b.WriteString(c.Value)
+	}
+	return b.String()
+}
+
+// Names lists stored cookie names in storage order (diagnostics).
+func (j *Jar) Names() []string {
+	out := make([]string, len(j.cookies))
+	for i, c := range j.cookies {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Get returns the stored cookie with the given name and path "/".
+func (j *Jar) Get(name string) (Cookie, bool) {
+	for _, c := range j.cookies {
+		if c.Name == name && c.Path == "/" {
+			return *c, true
+		}
+	}
+	return Cookie{}, false
+}
+
+// ManipulateForAttack performs the §6.1 MiTM sequence against the jar: via
+// plaintext HTTP responses it removes every cookie except the targeted
+// secure cookie (pushing it to the front of the Cookie header) and then
+// injects the attacker's padding cookies after it. The secret cookie's
+// value is never learned — only its position is controlled. padding maps
+// injected cookie names to values, applied in the given order.
+func ManipulateForAttack(j *Jar, target string, padding [][2]string) error {
+	if _, ok := j.Get(target); !ok {
+		return errors.New("cookiejar: target cookie not present")
+	}
+	// Delete everything except the target (plaintext channel suffices even
+	// for Secure cookies).
+	for _, name := range j.Names() {
+		if name == target {
+			continue
+		}
+		if err := j.SetCookie(name+"=x; Path=/; Max-Age=0", false); err != nil {
+			return err
+		}
+	}
+	// Inject the known padding cookies; created after the target, they
+	// sort behind it.
+	for _, p := range padding {
+		if err := j.SetCookie(p[0]+"="+p[1]+"; Path=/", false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

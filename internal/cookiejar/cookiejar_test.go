@@ -1,0 +1,157 @@
+package cookiejar
+
+import (
+	"strings"
+	"testing"
+)
+
+func seededJar(t *testing.T) *Jar {
+	t.Helper()
+	j := &Jar{}
+	// The victim's organic browsing history: several cookies set over
+	// HTTPS, auth among them but not first.
+	for _, h := range []string{
+		"prefs=dark",
+		"tracking=abc123",
+		"auth=SECRETSECRET1234; Secure",
+		"lang=en",
+	} {
+		if err := j.SetCookie(h, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return j
+}
+
+func TestSecureCookieNotSentOverHTTP(t *testing.T) {
+	j := seededJar(t)
+	plain := j.Header(false)
+	if strings.Contains(plain, "auth=") {
+		t.Fatal("secure cookie leaked over plaintext")
+	}
+	tls := j.Header(true)
+	if !strings.Contains(tls, "auth=SECRETSECRET1234") {
+		t.Fatal("secure cookie missing over TLS")
+	}
+}
+
+func TestOrderingCreationTime(t *testing.T) {
+	j := seededJar(t)
+	h := j.Header(true)
+	// Earlier creation first: prefs before tracking before auth before lang.
+	order := []string{"prefs=", "tracking=", "auth=", "lang="}
+	last := -1
+	for _, name := range order {
+		i := strings.Index(h, name)
+		if i < 0 {
+			t.Fatalf("%s missing from %q", name, h)
+		}
+		if i < last {
+			t.Fatalf("ordering violated in %q", h)
+		}
+		last = i
+	}
+}
+
+func TestOverwriteKeepsCreationTime(t *testing.T) {
+	// RFC 6265 §5.3: overwriting must not reorder — which is why the
+	// attack deletes instead.
+	j := seededJar(t)
+	if err := j.SetCookie("prefs=light", false); err != nil {
+		t.Fatal(err)
+	}
+	h := j.Header(true)
+	if !strings.HasPrefix(h, "prefs=light") {
+		t.Fatalf("overwrite moved the cookie: %q", h)
+	}
+}
+
+func TestPlaintextChannelCanDeleteSecureCookie(t *testing.T) {
+	// The §6.1 integrity gap: secure cookies are confidential, not
+	// integrity-protected.
+	j := seededJar(t)
+	if err := j.SetCookie("auth=x; Max-Age=0", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Get("auth"); ok {
+		t.Fatal("plaintext delete of secure cookie failed")
+	}
+}
+
+func TestLongerPathsFirst(t *testing.T) {
+	j := &Jar{}
+	j.SetCookie("a=1; Path=/", false)
+	j.SetCookie("b=2; Path=/deep/path", false)
+	h := j.Header(false)
+	if !strings.HasPrefix(h, "b=2") {
+		t.Fatalf("longer path should come first: %q", h)
+	}
+}
+
+func TestManipulateForAttack(t *testing.T) {
+	j := seededJar(t)
+	padding := [][2]string{
+		{"injected1", "known1"},
+		{"injected2", "knownplaintext2"},
+	}
+	if err := ManipulateForAttack(j, "auth", padding); err != nil {
+		t.Fatal(err)
+	}
+	h := j.Header(true)
+	// The Listing-3 layout: auth first, injected cookies after.
+	if !strings.HasPrefix(h, "auth=SECRETSECRET1234; injected1=known1; injected2=knownplaintext2") {
+		t.Fatalf("manipulated header: %q", h)
+	}
+	// The attacker never learned the secret.
+	if c, _ := j.Get("auth"); c.Value != "SECRETSECRET1234" {
+		t.Fatal("target cookie value changed")
+	}
+	// And over plaintext the auth cookie still doesn't leak.
+	if strings.Contains(j.Header(false), "auth=") {
+		t.Fatal("secure flag lost during manipulation")
+	}
+}
+
+func TestManipulateMissingTarget(t *testing.T) {
+	j := &Jar{}
+	if err := ManipulateForAttack(j, "auth", nil); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestSetCookieErrors(t *testing.T) {
+	j := &Jar{}
+	if err := j.SetCookie("noequalsign", false); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if err := j.SetCookie("=value", false); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Deleting a cookie that was never set is a no-op.
+	if err := j.SetCookie("ghost=x; Max-Age=0", false); err != nil {
+		t.Error(err)
+	}
+	if len(j.Names()) != 0 {
+		t.Error("phantom cookie stored")
+	}
+}
+
+func TestHeaderMatchesListing3Shape(t *testing.T) {
+	// End-to-end with httpmodel's expectations: after manipulation the
+	// rendered Cookie header must start with the auth value and be
+	// followed by only attacker-known bytes.
+	j := seededJar(t)
+	if err := ManipulateForAttack(j, "auth", [][2]string{{"p1", strings.Repeat("k", 40)}}); err != nil {
+		t.Fatal(err)
+	}
+	h := j.Header(true)
+	secret := "SECRETSECRET1234"
+	i := strings.Index(h, secret)
+	if i != len("auth=") {
+		t.Fatalf("secret not immediately after auth=: %q", h)
+	}
+	after := h[i+len(secret):]
+	if !strings.HasPrefix(after, "; p1=kkk") {
+		t.Fatalf("unknown bytes after secret: %q", after)
+	}
+}

@@ -1,0 +1,299 @@
+package dataset
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"rc4break/internal/rc4"
+)
+
+// Config controls a generation run.
+type Config struct {
+	// Keys is the total number of RC4 keys (keystreams) to generate.
+	Keys uint64
+	// KeyLen is the RC4 key length in bytes; 0 means 16 (the paper's
+	// setting for both random-key datasets and TKIP per-packet keys).
+	KeyLen int
+	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Master is the AES-128 master key from which all RC4 keys derive.
+	// The zero value is a valid (fixed) master, giving reproducible runs.
+	Master [16]byte
+	// Skip discards this many initial keystream bytes before Observe sees
+	// the rest — the long-term datasets drop the first 1023 bytes (§3.4).
+	Skip int
+	// KeyDeriver, when non-nil, post-processes each derived key before use.
+	// The TKIP per-packet key structure (K0..K2 from the TSC, §2.2) hooks
+	// in here.
+	KeyDeriver func(keyIndex uint64, key []byte)
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyLen == 0 {
+		c.KeyLen = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > int(c.Keys) && c.Keys > 0 {
+		c.Workers = int(c.Keys)
+	}
+	return c
+}
+
+// Run generates cfg.Keys keystreams in parallel and folds them into
+// observers produced by factory (one set per worker), returning the merged
+// result. factory must return a fresh, independent Observer on each call.
+func Run(cfg Config, factory func() Observer) (Observer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Keys == 0 {
+		return nil, errors.New("dataset: zero keys requested")
+	}
+	if cfg.KeyLen < rc4.MinKeyLen || cfg.KeyLen > rc4.MaxKeyLen {
+		return nil, rc4.KeySizeError(cfg.KeyLen)
+	}
+
+	results := make([]Observer, cfg.Workers)
+	var wg sync.WaitGroup
+	// Split keys across workers; worker w handles indices [start, start+n).
+	per := cfg.Keys / uint64(cfg.Workers)
+	extra := cfg.Keys % uint64(cfg.Workers)
+	var start uint64
+	for w := 0; w < cfg.Workers; w++ {
+		n := per
+		if uint64(w) < extra {
+			n++
+		}
+		obs := factory()
+		results[w] = obs
+		wg.Add(1)
+		go func(lane uint64, firstKey, n uint64, obs Observer) {
+			defer wg.Done()
+			worker(cfg, lane, firstKey, n, obs)
+		}(uint64(w), start, n, obs)
+		start += n
+	}
+	wg.Wait()
+
+	merged := results[0]
+	for _, r := range results[1:] {
+		if err := merged.Merge(r); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// worker generates n keystreams starting at key index firstKey.
+func worker(cfg Config, lane, firstKey, n uint64, obs Observer) {
+	src := NewKeySource(cfg.Master, lane)
+	key := make([]byte, cfg.KeyLen)
+	need := obs.KeystreamLen()
+	ks := make([]byte, need)
+	for i := uint64(0); i < n; i++ {
+		src.NextKey(key)
+		if cfg.KeyDeriver != nil {
+			cfg.KeyDeriver(firstKey+i, key)
+		}
+		c := rc4.MustNew(key)
+		if cfg.Skip > 0 {
+			c.Skip(cfg.Skip)
+		}
+		c.Keystream(ks)
+		obs.Observe(ks)
+	}
+}
+
+// LongTermDigraphs estimates the long-term digraph distribution by i-value:
+// cell (i, x, y) counts occurrences of (Z_r, Z_r+1) = (x, y) at PRGA counter
+// i = r+1 mod 256, far from the start of the keystream. This is the dataset
+// behind Table 1 verification and the eq. 8 long-term biases. It is not an
+// Observer: it consumes long runs of a few keystreams rather than short
+// prefixes of many.
+type LongTermDigraphs struct {
+	Counts [256 * 65536]uint64 // [i][x*256+y]
+	Pairs  uint64              // digraphs observed per i-class in total/256
+}
+
+// CollectLongTerm generates `keys` RC4 keystreams of `blocks` * 256 bytes
+// each (after dropping the first 1023 bytes, §3.4) and counts digraphs by
+// i-value in parallel.
+func CollectLongTerm(master [16]byte, keys, blocks int, workers int) *LongTermDigraphs {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > keys {
+		workers = keys
+	}
+	results := make([]*LongTermDigraphs, workers)
+	var wg sync.WaitGroup
+	per := keys / workers
+	extra := keys % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		lt := &LongTermDigraphs{}
+		results[w] = lt
+		wg.Add(1)
+		go func(lane uint64, n int, lt *LongTermDigraphs) {
+			defer wg.Done()
+			src := NewKeySource(master, lane)
+			key := make([]byte, 16)
+			// Buffer holds one 256-byte block plus the byte before it so
+			// digraphs spanning block boundaries are counted too.
+			buf := make([]byte, 257)
+			for k := 0; k < n; k++ {
+				src.NextKey(key)
+				c := rc4.MustNew(key)
+				c.Skip(1023)
+				// buf[0] = Z_1024, produced at PRGA counter i = 0; within
+				// each block, digraph r starts at counter i = r.
+				c.Keystream(buf[:1])
+				for b := 0; b < blocks; b++ {
+					c.Keystream(buf[1:])
+					for r := 0; r < 256; r++ {
+						lt.Counts[r*65536+int(buf[r])*256+int(buf[r+1])]++
+					}
+					lt.Pairs += 256
+					buf[0] = buf[256]
+				}
+			}
+		}(uint64(w)+1000, n, lt) // lanes offset so they differ from Run's
+	}
+	wg.Wait()
+	merged := results[0]
+	for _, r := range results[1:] {
+		for i := range merged.Counts {
+			merged.Counts[i] += r.Counts[i]
+		}
+		merged.Pairs += r.Pairs
+	}
+	return merged
+}
+
+// Probability estimates Pr[(Z_r, Z_r+1) = (x, y) | i = r+1 mod 256].
+// Each i-class receives Pairs/256 digraph observations.
+func (lt *LongTermDigraphs) Probability(i int, x, y byte) float64 {
+	perClass := float64(lt.Pairs) / 256
+	if perClass == 0 {
+		return 0
+	}
+	return float64(lt.Counts[i*65536+int(x)*256+int(y)]) / perClass
+}
+
+// Count returns the raw count for (i, x, y).
+func (lt *LongTermDigraphs) Count(i int, x, y byte) uint64 {
+	return lt.Counts[i*65536+int(x)*256+int(y)]
+}
+
+// LongTermCell is one targeted long-term digraph event: the digraph (X, Y)
+// observed at PRGA counter i = I. Negative I means "any i" (the count is
+// then over all 256 classes). XPlusI/YPlusI add the current i (mod 256) to
+// the value before comparing, which expresses the i-dependent FM digraphs
+// like (0, i+1) and (255, i+2) as fixed cells: (X=0, Y=1, YPlusI=true).
+type LongTermCell struct {
+	I              int
+	X, Y           byte
+	XPlusI, YPlusI bool
+}
+
+// TargetedLongTerm counts a small set of long-term digraph cells without
+// materializing the full 256×65536 table. This is how Table 1 and eq. 8 are
+// verified at the billions-of-digraphs scale their 2^-8-relative biases
+// need: the counting loop touches only a handful of hot counters, so it is
+// not cache-miss bound like the full table.
+type TargetedLongTerm struct {
+	Cells  []LongTermCell
+	Counts []uint64
+	Pairs  uint64 // total digraphs observed
+	PerI   uint64 // digraphs observed per single i-class (Pairs/256)
+}
+
+// CollectLongTermTargeted generates `keys` keystreams of blocks*256 bytes
+// each (after the 1023-byte drop) and counts only the given cells.
+func CollectLongTermTargeted(master [16]byte, keys, blocks, workers int, cells []LongTermCell) *TargetedLongTerm {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > keys {
+		workers = keys
+	}
+	results := make([]*TargetedLongTerm, workers)
+	var wg sync.WaitGroup
+	per := keys / workers
+	extra := keys % workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		tt := &TargetedLongTerm{Cells: cells, Counts: make([]uint64, len(cells))}
+		results[w] = tt
+		wg.Add(1)
+		go func(lane uint64, n int, tt *TargetedLongTerm) {
+			defer wg.Done()
+			src := NewKeySource(master, lane)
+			key := make([]byte, 16)
+			buf := make([]byte, 257)
+			for k := 0; k < n; k++ {
+				src.NextKey(key)
+				c := rc4.MustNew(key)
+				c.Skip(1023)
+				// buf[0] = Z_1024 at PRGA counter i = 0; digraph r within a
+				// block starts at counter i = r.
+				c.Keystream(buf[:1])
+				for b := 0; b < blocks; b++ {
+					c.Keystream(buf[1:])
+					for r := 0; r < 256; r++ {
+						x, y := buf[r], buf[r+1]
+						for ci := range tt.Cells {
+							cell := &tt.Cells[ci]
+							if cell.I >= 0 && cell.I != r {
+								continue
+							}
+							cx, cy := cell.X, cell.Y
+							if cell.XPlusI {
+								cx += byte(r)
+							}
+							if cell.YPlusI {
+								cy += byte(r)
+							}
+							if x == cx && y == cy {
+								tt.Counts[ci]++
+							}
+						}
+					}
+					tt.Pairs += 256
+					buf[0] = buf[256]
+				}
+			}
+		}(uint64(w)+2000, n, tt)
+	}
+	wg.Wait()
+	merged := results[0]
+	for _, r := range results[1:] {
+		for i := range merged.Counts {
+			merged.Counts[i] += r.Counts[i]
+		}
+		merged.Pairs += r.Pairs
+	}
+	merged.PerI = merged.Pairs / 256
+	return merged
+}
+
+// Probability estimates the probability of cell ci: conditioned on its
+// i-class when the cell pins i, otherwise over all digraphs.
+func (tt *TargetedLongTerm) Probability(ci int) float64 {
+	cell := tt.Cells[ci]
+	den := float64(tt.Pairs)
+	if cell.I >= 0 {
+		den = float64(tt.Pairs) / 256
+	}
+	if den == 0 {
+		return 0
+	}
+	return float64(tt.Counts[ci]) / den
+}

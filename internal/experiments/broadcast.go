@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"rc4break/internal/dataset"
+	"rc4break/internal/rc4"
+	"rc4break/internal/recovery"
+)
+
+// BroadcastAttack reproduces the AlFardan et al. single-byte broadcast
+// attack on the initial keystream bytes — the baseline (§1, [2]) that the
+// paper's TLS attack improves from 13·2^30 ciphertexts to 9·2^27. A fixed
+// plaintext is encrypted under `ciphertexts` fresh random keys (a new TLS
+// connection per request, the non-persistent worst case); single-byte
+// likelihoods against empirically trained distributions recover each
+// position independently. Reported: the fraction of the first `positions`
+// bytes recovered exactly, plus the recovery status of the strongest
+// positions the literature calls out (2, 16, 32).
+//
+// This runs in exact mode end to end: both training and attack use the
+// real cipher.
+func BroadcastAttack(trainKeys, ciphertexts uint64, positions int, workers int) (Result, error) {
+	if positions <= 0 {
+		positions = 32
+	}
+	// Train single-byte distributions.
+	obs, err := dataset.Run(dataset.Config{Keys: trainKeys, Workers: workers, Master: [16]byte{0x7a}},
+		func() dataset.Observer { return dataset.NewSingleByteCounts(positions) })
+	if err != nil {
+		return Result{}, err
+	}
+	train := obs.(*dataset.SingleByteCounts)
+
+	// Encrypt the fixed plaintext under fresh keys, collecting per-position
+	// ciphertext counts. A distinct master key keeps attack keystreams
+	// independent of the training set.
+	plaintext := make([]byte, positions)
+	for i := range plaintext {
+		plaintext[i] = byte(0x20 + i%0x5f) // printable, position-dependent
+	}
+	counts := make([][256]uint64, positions)
+	src := dataset.NewKeySource([16]byte{0x5b}, 9)
+	key := make([]byte, 16)
+	ct := make([]byte, positions)
+	for n := uint64(0); n < ciphertexts; n++ {
+		src.NextKey(key)
+		rc4.MustNew(key).XORKeyStream(ct, plaintext)
+		for r := 0; r < positions; r++ {
+			counts[r][ct[r]]++
+		}
+	}
+
+	// Recover each position independently.
+	correct := 0
+	recovered := make([]byte, positions)
+	for r := 0; r < positions; r++ {
+		lk, err := recovery.SingleByteLikelihoods(&counts[r], train.Distribution(r+1))
+		if err != nil {
+			return Result{}, err
+		}
+		recovered[r] = lk.Best()
+		if recovered[r] == plaintext[r] {
+			correct++
+		}
+	}
+	res := Result{
+		ID:      "Baseline [2]",
+		Title:   "AlFardan-style broadcast recovery of initial plaintext bytes",
+		Columns: []string{"value"},
+		Notes:   "exact mode: real cipher for both training and attack. At laptop training scale only the 2x Mantin-Shamir bias (position 2) resolves: empirical-model noise energy 65536/trainKeys swamps the ~2^-8-relative biases elsewhere until trainKeys approaches the paper-scale 2^44 — exactly why [2] needed CPU-year datasets and 13*2^30 ciphertexts",
+	}
+	res.Rows = append(res.Rows,
+		Row{Label: "positions recovered", Values: []float64{float64(correct)}},
+		Row{Label: "of total", Values: []float64{float64(positions)}},
+		Row{Label: "position 2 correct", Values: []float64{boolTo01(recovered[1] == plaintext[1])}},
+	)
+	if positions >= 16 {
+		res.Rows = append(res.Rows, Row{Label: "position 16 correct", Values: []float64{boolTo01(recovered[15] == plaintext[15])}})
+	}
+	return res, nil
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	"rc4break/internal/netsim"
+	"rc4break/internal/packet"
+	"rc4break/internal/rc4"
+	"rc4break/internal/tkip"
+)
+
+// TKIPParams controls the Figure 8/9 simulations.
+type TKIPParams struct {
+	// KeysPerTSC selects trained-model mode when nonzero: the per-TSC
+	// model is estimated from real keystreams at this depth (the paper
+	// used 2^32 per class). When zero, a synthetic model with
+	// BiasStrength-calibrated per-class biases is used instead — the mode
+	// that reproduces Fig. 8's shape (see SyntheticModel).
+	KeysPerTSC uint64
+	// BiasStrength is the RMS relative per-cell bias of the synthetic
+	// model; 0 means the calibrated default.
+	BiasStrength float64
+	// Copies lists the ciphertext-copy counts to sweep; the paper's x-axis
+	// runs 1·2^20 .. 15·2^20.
+	Copies []uint64
+	// Trials per point (the paper uses 256).
+	Trials int
+	// MaxDepth bounds the candidate search (the paper allows nearly 2^30;
+	// the defaults search far enough to show the shape).
+	MaxDepth int
+	Seed     int64
+	Workers  int
+}
+
+// DefaultBiasStrength is the synthetic per-TSC bias RMS calibrated so the
+// deep-list success curve crosses ~50% in the paper's 3–9 × 2^20 window
+// (measured: ~12% at 5×2^20, ~100% at 9×2^20, with the Fig. 9 median ICV
+// position falling from ~2^16 to 1 across the sweep).
+const DefaultBiasStrength = 1.0 / 768
+
+func (p TKIPParams) withDefaults() TKIPParams {
+	if p.BiasStrength == 0 {
+		p.BiasStrength = DefaultBiasStrength
+	}
+	if len(p.Copies) == 0 {
+		p.Copies = []uint64{1 << 20, 3 << 20, 5 << 20, 9 << 20, 15 << 20}
+	}
+	if p.Trials == 0 {
+		p.Trials = 16
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 1 << 16
+	}
+	return p
+}
+
+// Figures8and9 runs the WPA-TKIP MIC-key recovery simulation: per
+// ciphertext-copy count it reports (a) the success rate with a deep
+// candidate list, (b) the success rate using only the top-2 candidates
+// (Fig. 8's second curve), and (c) the median 1-based candidate position of
+// the first correct-ICV packet among successful trials (Fig. 9).
+//
+// Model mode: keystream bytes at the trailer positions follow the per-TSC
+// model — by default the calibrated synthetic model (see SyntheticModel and
+// DESIGN.md's substitution table); with KeysPerTSC set, a model trained on
+// real keystreams. The paper's own Fig. 8 is likewise a simulation against
+// its (CPU-year-scale) empirical distributions.
+func Figures8and9(p TKIPParams) (Result, error) {
+	p = p.withDefaults()
+	msduLen := packet.HeaderSize + 7 // the §5.2 7-byte-payload packet
+	positions := tkip.TrailerPositions(msduLen)
+	var model *tkip.PerTSCModel
+	if p.KeysPerTSC > 0 {
+		var err error
+		model, err = tkip.Train(tkip.TrainConfig{
+			Positions:  positions[len(positions)-1],
+			KeysPerTSC: p.KeysPerTSC,
+			Workers:    p.Workers,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		model = tkip.SyntheticModel(positions[len(positions)-1], p.BiasStrength, p.Seed+1000)
+	}
+
+	session := &tkip.Session{
+		TK:     [16]byte{1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 121, 98, 219},
+		MICKey: [8]byte{0x4d, 0x49, 0x43, 0x4b, 0x45, 0x59, 0x21, 0x21},
+		TA:     [6]byte{0xaa, 0xbb, 0xcc, 0x00, 0x11, 0x22},
+		DA:     [6]byte{0x33, 0x44, 0x55, 0x66, 0x77, 0x88},
+		SA:     [6]byte{0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee},
+	}
+	victim := netsim.NewWiFiVictim(session, []byte("PAYLOAD"))
+	// The true trailer bytes of the injected packet.
+	frame := victim.Transmit()
+	key := tkip.MixKey(session.TK, session.TA, frame.TSC)
+	_ = key
+	trailer := trueTrailer(session, victim.MSDU)
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	res := Result{
+		ID:      "Figures 8+9",
+		Title:   "TKIP MIC-key recovery vs ciphertext copies",
+		Columns: []string{"success(list)", "success(top2)", "median ICV pos", "hours@2500pps"},
+		Notes:   "paper: deep-list success reaches ~100% near 9-15 x 2^20 copies; top-2 stays low; Fig. 9 median position falls with more copies",
+	}
+	for _, copies := range p.Copies {
+		var okList, okTop2 int
+		var depths []int
+		for t := 0; t < p.Trials; t++ {
+			attack, err := tkip.NewAttack(model, positions)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := attack.SimulateCaptures(rng, trailer, copies); err != nil {
+				return Result{}, err
+			}
+			micKey, depth, err := attack.RecoverTrailer(session.DA, session.SA, victim.MSDU, p.MaxDepth)
+			if err == nil && micKey == session.MICKey {
+				okList++
+				depths = append(depths, depth)
+				if depth <= 2 {
+					okTop2++
+				}
+			}
+		}
+		med := median(depths)
+		hours := float64(copies) / netsim.TKIPInjectionPerSecond / 3600
+		res.Rows = append(res.Rows, Row{
+			Label: itoa(int(copies>>20)) + "x2^20",
+			Values: []float64{
+				float64(okList) / float64(p.Trials),
+				float64(okTop2) / float64(p.Trials),
+				med,
+				hours,
+			},
+		})
+	}
+	return res, nil
+}
+
+// trueTrailer computes the plaintext MIC‖ICV of the injected packet.
+func trueTrailer(s *tkip.Session, msdu []byte) []byte {
+	f := s.Encapsulate(msdu, 0)
+	key := tkip.MixKey(s.TK, s.TA, 0)
+	plain := make([]byte, len(f.Body))
+	xorKeystream(key, f.Body, plain)
+	return plain[len(msdu):]
+}
+
+func median(xs []int) float64 {
+	if len(xs) == 0 {
+		return -1
+	}
+	sort.Ints(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return float64(xs[n/2])
+	}
+	return float64(xs[n/2-1]+xs[n/2]) / 2
+}
+
+// PayloadPlacement is the §5.2 ablation: compare how many strongly biased
+// per-TSC positions fall inside the trailer window for a 0-byte versus a
+// 7-byte TCP payload. Bias strength per position is measured from the
+// trained model as the mean L2 distance between per-class distributions and
+// the position's global distribution.
+func PayloadPlacement(keysPerTSC uint64, workers int) (Result, error) {
+	maxPos := packet.HeaderSize + 7 + tkip.TrailerSize // 67
+	model, err := tkip.Train(tkip.TrainConfig{
+		Positions:  maxPos,
+		KeysPerTSC: keysPerTSC,
+		Workers:    workers,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	strength := make([]float64, maxPos+1)
+	for pos := 1; pos <= maxPos; pos++ {
+		var global [256]float64
+		for class := 0; class < 256; class++ {
+			d := model.Distribution(byte(class), pos)
+			for v := 0; v < 256; v++ {
+				global[v] += d[v] / 256
+			}
+		}
+		var sum float64
+		for class := 0; class < 256; class++ {
+			d := model.Distribution(byte(class), pos)
+			var l2 float64
+			for v := 0; v < 256; v++ {
+				diff := d[v] - global[v]
+				l2 += diff * diff
+			}
+			sum += l2
+		}
+		strength[pos] = sum / 256
+	}
+	window := func(first int) float64 {
+		var s float64
+		for pos := first; pos < first+tkip.TrailerSize; pos++ {
+			s += strength[pos]
+		}
+		return s
+	}
+	res := Result{
+		ID:      "§5.2",
+		Title:   "Trailer placement: aggregate per-TSC bias strength in the MIC/ICV window",
+		Columns: []string{"aggregate strength"},
+		Notes:   "paper: the 7-byte payload places the trailer at positions 56..67 where more strongly-biased bytes lie than at 49..60",
+	}
+	res.Rows = append(res.Rows,
+		Row{Label: "payload=0 (pos 49-60)", Values: []float64{window(49)}},
+		Row{Label: "payload=7 (pos 56-67)", Values: []float64{window(56)}},
+	)
+	return res, nil
+}
+
+func xorKeystream(key [16]byte, src, dst []byte) {
+	rc4.MustNew(key[:]).XORKeyStream(dst, src)
+}

@@ -1,0 +1,114 @@
+// Package michael implements the Michael message integrity code used by
+// WPA-TKIP, plus the key-recovery inversion that makes the paper's TKIP
+// attack (§5) devastating: Michael is not a one-way function, so given a
+// plaintext MSDU and its MIC value, the 64-bit MIC key can be recovered in
+// microseconds (Tews & Beck). Once the attacker decrypts a single full
+// packet — which is what the RC4 bias attack yields — the MIC key falls out
+// and arbitrary packets can be forged.
+//
+// Michael operates on two 32-bit little-endian state words keyed by the
+// 64-bit MIC key. Each 32-bit message word is XORed into the left half and
+// followed by a four-round unkeyed block function built from rotations,
+// a byte swap and additions — all invertible, which is exactly the weakness
+// the inversion exploits.
+package michael
+
+import "encoding/binary"
+
+// KeySize is the Michael key size in bytes.
+const KeySize = 8
+
+// Size is the MIC length in bytes.
+const Size = 8
+
+// rol and ror are 32-bit rotations.
+func rol(v uint32, n uint) uint32 { return v<<n | v>>(32-n) }
+func ror(v uint32, n uint) uint32 { return v>>n | v<<(32-n) }
+
+// xswap swaps the bytes within each 16-bit half of v.
+func xswap(v uint32) uint32 {
+	return (v&0xff00ff00)>>8 | (v&0x00ff00ff)<<8
+}
+
+// block is the Michael block function (one message word absorbed).
+func block(l, r uint32) (uint32, uint32) {
+	r ^= rol(l, 17)
+	l += r
+	r ^= xswap(l)
+	l += r
+	r ^= rol(l, 3)
+	l += r
+	r ^= ror(l, 2)
+	l += r
+	return l, r
+}
+
+// unblock inverts block.
+func unblock(l, r uint32) (uint32, uint32) {
+	l -= r
+	r ^= ror(l, 2)
+	l -= r
+	r ^= rol(l, 3)
+	l -= r
+	r ^= xswap(l)
+	l -= r
+	r ^= rol(l, 17)
+	return l, r
+}
+
+// pad appends the Michael padding: a 0x5a byte followed by the minimum
+// number of zero bytes (at least 4) so the total length is a multiple of 4.
+func pad(msg []byte) []byte {
+	padded := make([]byte, 0, len(msg)+12)
+	padded = append(padded, msg...)
+	padded = append(padded, 0x5a, 0, 0, 0, 0)
+	for len(padded)%4 != 0 {
+		padded = append(padded, 0)
+	}
+	return padded
+}
+
+// Sum computes the 8-byte Michael MIC of msg under the 8-byte key.
+// In TKIP the message is the MIC header (DA, SA, priority) followed by the
+// MSDU payload; use Header to build that prefix.
+func Sum(key [KeySize]byte, msg []byte) [Size]byte {
+	l := binary.LittleEndian.Uint32(key[0:4])
+	r := binary.LittleEndian.Uint32(key[4:8])
+	padded := pad(msg)
+	for off := 0; off < len(padded); off += 4 {
+		l ^= binary.LittleEndian.Uint32(padded[off:])
+		l, r = block(l, r)
+	}
+	var mic [Size]byte
+	binary.LittleEndian.PutUint32(mic[0:4], l)
+	binary.LittleEndian.PutUint32(mic[4:8], r)
+	return mic
+}
+
+// RecoverKey inverts Michael: given a message and its MIC, it returns the
+// key that produced it. This is the §5.3 step "from the decrypted packet we
+// derive the TKIP MIC key". The recovery is exact and deterministic.
+func RecoverKey(msg []byte, mic [Size]byte) [KeySize]byte {
+	l := binary.LittleEndian.Uint32(mic[0:4])
+	r := binary.LittleEndian.Uint32(mic[4:8])
+	padded := pad(msg)
+	for off := len(padded) - 4; off >= 0; off -= 4 {
+		l, r = unblock(l, r)
+		l ^= binary.LittleEndian.Uint32(padded[off:])
+	}
+	var key [KeySize]byte
+	binary.LittleEndian.PutUint32(key[0:4], l)
+	binary.LittleEndian.PutUint32(key[4:8], r)
+	return key
+}
+
+// Header builds the 16-byte Michael MIC header: destination address, source
+// address, priority and three reserved zero bytes, as prepended to the MSDU
+// before MIC computation in 802.11 [19, §11.4.2.3].
+func Header(da, sa [6]byte, priority byte) [16]byte {
+	var h [16]byte
+	copy(h[0:6], da[:])
+	copy(h[6:12], sa[:])
+	h[12] = priority
+	return h
+}

@@ -1,0 +1,148 @@
+package michael
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Test vectors from IEEE 802.11-2012 Annex M.6.1 (Michael test vectors).
+func TestKnownVectors(t *testing.T) {
+	cases := []struct {
+		key []byte
+		msg string
+		mic []byte
+	}{
+		{
+			key: []byte{0, 0, 0, 0, 0, 0, 0, 0},
+			msg: "",
+			mic: []byte{0x82, 0x92, 0x5c, 0x1c, 0xa1, 0xd1, 0x30, 0xb8},
+		},
+		{
+			key: []byte{0x82, 0x92, 0x5c, 0x1c, 0xa1, 0xd1, 0x30, 0xb8},
+			msg: "M",
+			mic: []byte{0x43, 0x47, 0x21, 0xca, 0x40, 0x63, 0x9b, 0x3f},
+		},
+		{
+			key: []byte{0x43, 0x47, 0x21, 0xca, 0x40, 0x63, 0x9b, 0x3f},
+			msg: "Mi",
+			mic: []byte{0xe8, 0xf9, 0xbe, 0xca, 0xe9, 0x7e, 0x5d, 0x29},
+		},
+		{
+			key: []byte{0xe8, 0xf9, 0xbe, 0xca, 0xe9, 0x7e, 0x5d, 0x29},
+			msg: "Mic",
+			mic: []byte{0x90, 0x03, 0x8f, 0xc6, 0xcf, 0x13, 0xc1, 0xdb},
+		},
+		{
+			key: []byte{0x90, 0x03, 0x8f, 0xc6, 0xcf, 0x13, 0xc1, 0xdb},
+			msg: "Mich",
+			mic: []byte{0xd5, 0x5e, 0x10, 0x05, 0x10, 0x12, 0x89, 0x86},
+		},
+		{
+			key: []byte{0xd5, 0x5e, 0x10, 0x05, 0x10, 0x12, 0x89, 0x86},
+			msg: "Michael",
+			mic: []byte{0x0a, 0x94, 0x2b, 0x12, 0x4e, 0xca, 0xa5, 0x46},
+		},
+	}
+	for i, c := range cases {
+		var key [KeySize]byte
+		copy(key[:], c.key)
+		got := Sum(key, []byte(c.msg))
+		if !bytes.Equal(got[:], c.mic) {
+			t.Errorf("vector %d (%q): got % x want % x", i, c.msg, got, c.mic)
+		}
+	}
+}
+
+func TestBlockUnblockInverse(t *testing.T) {
+	f := func(l, r uint32) bool {
+		bl, br := block(l, r)
+		ul, ur := unblock(bl, br)
+		return ul == l && ur == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecoverKey(t *testing.T) {
+	// The core of the §5.3 attack: any (message, MIC) pair reveals the key.
+	f := func(key [KeySize]byte, msg []byte) bool {
+		mic := Sum(key, msg)
+		return RecoverKey(msg, mic) == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecoverKeyRealisticPacket(t *testing.T) {
+	key := [KeySize]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04}
+	da := [6]byte{0x00, 0x11, 0x22, 0x33, 0x44, 0x55}
+	sa := [6]byte{0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb}
+	hdr := Header(da, sa, 0)
+	msdu := append(hdr[:], []byte("GET / HTTP/1.1\r\nHost: example\r\n\r\n")...)
+	mic := Sum(key, msdu)
+	if got := RecoverKey(msdu, mic); got != key {
+		t.Fatalf("recovered % x, want % x", got, key)
+	}
+}
+
+func TestPadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		p := pad(make([]byte, n))
+		if len(p)%4 != 0 {
+			t.Errorf("len %d: padded length %d not multiple of 4", n, len(p))
+		}
+		if p[n] != 0x5a {
+			t.Errorf("len %d: padding must start with 0x5a", n)
+		}
+		if len(p) < n+4 {
+			t.Errorf("len %d: need at least 4 padding bytes, got %d", n, len(p)-n)
+		}
+		for _, b := range p[n+1:] {
+			if b != 0 {
+				t.Errorf("len %d: nonzero tail padding", n)
+			}
+		}
+	}
+}
+
+func TestHeader(t *testing.T) {
+	da := [6]byte{1, 2, 3, 4, 5, 6}
+	sa := [6]byte{7, 8, 9, 10, 11, 12}
+	h := Header(da, sa, 5)
+	if !bytes.Equal(h[0:6], da[:]) || !bytes.Equal(h[6:12], sa[:]) {
+		t.Error("addresses misplaced")
+	}
+	if h[12] != 5 || h[13] != 0 || h[14] != 0 || h[15] != 0 {
+		t.Error("priority/reserved bytes wrong")
+	}
+}
+
+func TestMICChangesWithMessage(t *testing.T) {
+	key := [KeySize]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	a := Sum(key, []byte("message one"))
+	b := Sum(key, []byte("message two"))
+	if a == b {
+		t.Error("different messages produced identical MICs")
+	}
+}
+
+func BenchmarkSum1500(b *testing.B) {
+	var key [KeySize]byte
+	msg := make([]byte, 1500)
+	b.SetBytes(1500)
+	for n := 0; n < b.N; n++ {
+		Sum(key, msg)
+	}
+}
+
+func BenchmarkRecoverKey(b *testing.B) {
+	var key [KeySize]byte
+	msg := make([]byte, 60)
+	mic := Sum(key, msg)
+	for n := 0; n < b.N; n++ {
+		RecoverKey(msg, mic)
+	}
+}

@@ -1,0 +1,172 @@
+// Package packet builds the plaintext MSDU layout of Figure 2: the LLC/SNAP
+// encapsulation header followed by an IPv4 header, a TCP header and an
+// optional payload. The TKIP attack needs byte-exact plaintext of everything
+// except the MIC and ICV (and the handful of fields §5.3 derives via
+// checksum pruning — internal IP, client port, TTL), so this package is the
+// single source of truth for where every field of the injected packet sits.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"rc4break/internal/checksum"
+)
+
+// Header sizes (bytes) of the layers in the injected packet. The paper's
+// §5.2 observation: LLC/SNAP + IP + TCP is 48 bytes, so with a 7-byte TCP
+// payload the MIC lands at offsets 56..63 and the ICV at 64..67 (1-indexed
+// keystream positions 56..60 in the paper's counting of strongly biased
+// positions).
+const (
+	LLCSNAPSize = 8
+	IPv4Size    = 20
+	TCPSize     = 20
+)
+
+// LLCSNAP returns the 8-byte LLC/SNAP header for the given EtherType
+// (0x0800 for IPv4).
+func LLCSNAP(etherType uint16) [LLCSNAPSize]byte {
+	var h [LLCSNAPSize]byte
+	h[0], h[1], h[2] = 0xaa, 0xaa, 0x03 // SNAP DSAP/SSAP/control
+	// h[3:6] = OUI 00:00:00 (encapsulated Ethernet)
+	binary.BigEndian.PutUint16(h[6:8], etherType)
+	return h
+}
+
+// IPv4 describes the fields of the (option-less) IPv4 header we model.
+type IPv4 struct {
+	TTL      byte
+	Protocol byte // 6 = TCP
+	SrcIP    [4]byte
+	DstIP    [4]byte
+	ID       uint16
+	Length   uint16 // total length including header
+}
+
+// Marshal serializes the header with a correct checksum.
+func (h IPv4) Marshal() [IPv4Size]byte {
+	var b [IPv4Size]byte
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:4], h.Length)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	copy(b[12:16], h.SrcIP[:])
+	copy(b[16:20], h.DstIP[:])
+	ck := checksum.Internet(b[:])
+	binary.BigEndian.PutUint16(b[10:12], ck)
+	return b
+}
+
+// ParseIPv4 decodes a 20-byte header. It does not verify the checksum; use
+// checksum.InternetValid for that (the attack does so when pruning).
+func ParseIPv4(b []byte) (IPv4, error) {
+	if len(b) < IPv4Size {
+		return IPv4{}, errors.New("packet: short IPv4 header")
+	}
+	if b[0]>>4 != 4 {
+		return IPv4{}, errors.New("packet: not IPv4")
+	}
+	var h IPv4
+	h.Length = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	copy(h.SrcIP[:], b[12:16])
+	copy(h.DstIP[:], b[16:20])
+	return h, nil
+}
+
+// TCP describes the fields of the (option-less) TCP header we model.
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   byte
+	Window  uint16
+}
+
+// Marshal serializes the TCP header with a correct checksum over the
+// IPv4 pseudo-header and the given payload.
+func (h TCP) Marshal(srcIP, dstIP [4]byte, payload []byte) [TCPSize]byte {
+	var b [TCPSize]byte
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	ck := tcpChecksum(b[:], srcIP, dstIP, payload)
+	binary.BigEndian.PutUint16(b[16:18], ck)
+	return b
+}
+
+// ParseTCP decodes a 20-byte TCP header.
+func ParseTCP(b []byte) (TCP, error) {
+	if len(b) < TCPSize {
+		return TCP{}, errors.New("packet: short TCP header")
+	}
+	var h TCP
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	return h, nil
+}
+
+// tcpChecksum computes the TCP checksum over pseudo-header, header (with
+// its checksum field as currently set) and payload.
+func tcpChecksum(tcpHdr []byte, srcIP, dstIP [4]byte, payload []byte) uint16 {
+	pseudo := make([]byte, 0, 12+len(tcpHdr)+len(payload))
+	pseudo = append(pseudo, srcIP[:]...)
+	pseudo = append(pseudo, dstIP[:]...)
+	pseudo = append(pseudo, 0, 6) // zero, protocol TCP
+	var lenField [2]byte
+	binary.BigEndian.PutUint16(lenField[:], uint16(len(tcpHdr)+len(payload)))
+	pseudo = append(pseudo, lenField[:]...)
+	pseudo = append(pseudo, tcpHdr...)
+	pseudo = append(pseudo, payload...)
+	return checksum.Internet(pseudo)
+}
+
+// VerifyTCPChecksum reports whether the TCP header+payload checksum is
+// consistent with the pseudo-header — the pruning predicate for deriving
+// the victim's internal IP and port (§5.3).
+func VerifyTCPChecksum(tcpSegment []byte, srcIP, dstIP [4]byte) bool {
+	if len(tcpSegment) < TCPSize {
+		return false
+	}
+	return tcpChecksum(tcpSegment, srcIP, dstIP, nil) == 0
+}
+
+// MSDU assembles the full plaintext MSDU of Figure 2 (before MIC/ICV):
+// LLC/SNAP, IPv4 header, TCP header, payload.
+type MSDU struct {
+	IP      IPv4
+	TCP     TCP
+	Payload []byte
+}
+
+// Marshal produces the MSDU bytes. The IP length field is filled in from
+// the component sizes.
+func (m MSDU) Marshal() []byte {
+	m.IP.Protocol = 6
+	m.IP.Length = uint16(IPv4Size + TCPSize + len(m.Payload))
+	snap := LLCSNAP(0x0800)
+	ip := m.IP.Marshal()
+	tcp := m.TCP.Marshal(m.IP.SrcIP, m.IP.DstIP, m.Payload)
+	out := make([]byte, 0, LLCSNAPSize+IPv4Size+TCPSize+len(m.Payload))
+	out = append(out, snap[:]...)
+	out = append(out, ip[:]...)
+	out = append(out, tcp[:]...)
+	out = append(out, m.Payload...)
+	return out
+}
+
+// HeaderSize is the total size of LLC/SNAP + IP + TCP (48 bytes, §5.2).
+const HeaderSize = LLCSNAPSize + IPv4Size + TCPSize

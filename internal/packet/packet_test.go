@@ -1,0 +1,148 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"rc4break/internal/checksum"
+)
+
+func TestLLCSNAP(t *testing.T) {
+	h := LLCSNAP(0x0800)
+	want := []byte{0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00, 0x08, 0x00}
+	if !bytes.Equal(h[:], want) {
+		t.Errorf("LLCSNAP = % x, want % x", h, want)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		TTL:      64,
+		Protocol: 6,
+		SrcIP:    [4]byte{192, 168, 1, 100},
+		DstIP:    [4]byte{93, 184, 216, 34},
+		ID:       0x1234,
+		Length:   47,
+	}
+	b := h.Marshal()
+	if !checksum.InternetValid(b[:]) {
+		t.Fatal("marshaled IPv4 header has invalid checksum")
+	}
+	got, err := ParseIPv4(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestIPv4ChecksumDetectsFieldChange(t *testing.T) {
+	// The §5.3 pruning predicate: wrong guesses of internal IP or TTL break
+	// the header checksum.
+	h := IPv4{TTL: 64, Protocol: 6, SrcIP: [4]byte{10, 0, 0, 2}, DstIP: [4]byte{1, 2, 3, 4}, Length: 47}
+	b := h.Marshal()
+	b[8] = 63 // wrong TTL guess
+	if checksum.InternetValid(b[:]) {
+		t.Fatal("TTL change not detected")
+	}
+	b[8] = 64
+	b[12] = 11 // wrong internal IP guess
+	if checksum.InternetValid(b[:]) {
+		t.Fatal("source IP change not detected")
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	if _, err := ParseIPv4(make([]byte, 10)); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x65 // version 6
+	if _, err := ParseIPv4(bad); err == nil {
+		t.Error("IPv6 version accepted")
+	}
+}
+
+func TestTCPRoundTripAndChecksum(t *testing.T) {
+	src := [4]byte{192, 168, 1, 100}
+	dst := [4]byte{93, 184, 216, 34}
+	h := TCP{SrcPort: 52100, DstPort: 80, Seq: 1000, Ack: 2000, Flags: 0x18, Window: 29200}
+	payload := []byte("PAYLOAD") // the paper's 7-byte payload
+	b := h.Marshal(src, dst, payload)
+
+	got, err := ParseTCP(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: got %+v want %+v", got, h)
+	}
+	seg := append(b[:], payload...)
+	if !VerifyTCPChecksum(seg, src, dst) {
+		t.Fatal("valid TCP segment fails checksum")
+	}
+	seg[0] ^= 0xff // corrupt source port
+	if VerifyTCPChecksum(seg, src, dst) {
+		t.Fatal("corrupted source port passes checksum")
+	}
+}
+
+func TestParseTCPShort(t *testing.T) {
+	if _, err := ParseTCP(make([]byte, 19)); err == nil {
+		t.Error("short TCP header accepted")
+	}
+	if VerifyTCPChecksum(make([]byte, 10), [4]byte{}, [4]byte{}) {
+		t.Error("short segment verified")
+	}
+}
+
+func TestMSDULayout(t *testing.T) {
+	m := MSDU{
+		IP:      IPv4{TTL: 64, SrcIP: [4]byte{10, 0, 0, 2}, DstIP: [4]byte{5, 6, 7, 8}, ID: 7},
+		TCP:     TCP{SrcPort: 41000, DstPort: 80, Flags: 0x18},
+		Payload: []byte("PAYLOAD"),
+	}
+	b := m.Marshal()
+	if len(b) != HeaderSize+7 {
+		t.Fatalf("MSDU length %d, want %d", len(b), HeaderSize+7)
+	}
+	// §5.2: headers total 48 bytes; with a 7-byte payload the MIC would
+	// start at offset 55 (0-indexed) in the encrypted frame body.
+	if HeaderSize != 48 {
+		t.Fatalf("HeaderSize = %d, want 48", HeaderSize)
+	}
+	// Embedded IP header must checksum-verify in place.
+	if !checksum.InternetValid(b[LLCSNAPSize : LLCSNAPSize+IPv4Size]) {
+		t.Fatal("embedded IP header checksum invalid")
+	}
+	// Embedded TCP segment must verify against the pseudo-header.
+	if !VerifyTCPChecksum(b[LLCSNAPSize+IPv4Size:], m.IP.SrcIP, m.IP.DstIP) {
+		t.Fatal("embedded TCP checksum invalid")
+	}
+	// Length field covers IP+TCP+payload.
+	ip, err := ParseIPv4(b[LLCSNAPSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(ip.Length) != IPv4Size+TCPSize+7 {
+		t.Fatalf("IP length %d, want %d", ip.Length, IPv4Size+TCPSize+7)
+	}
+}
+
+func TestMSDUDeterministic(t *testing.T) {
+	// Identical packet injection (§5.2) relies on the MSDU serializing
+	// identically every time.
+	f := func(ttl byte, srcPort uint16, id uint16) bool {
+		m := MSDU{
+			IP:      IPv4{TTL: ttl, SrcIP: [4]byte{10, 0, 0, 9}, DstIP: [4]byte{1, 1, 1, 1}, ID: id},
+			TCP:     TCP{SrcPort: srcPort, DstPort: 80, Flags: 0x18},
+			Payload: []byte("PAYLOAD"),
+		}
+		return bytes.Equal(m.Marshal(), m.Marshal())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package rc4 implements the RC4 stream cipher from scratch, exposing the
+// internal permutation state so that bias-hunting and attack code can inspect
+// it. The standard library's crypto/rc4 deliberately hides state and rejects
+// some key lengths; the analyses in this repository (per-round state
+// inspection, key-length dependent biases, TKIP's 16-byte per-packet keys)
+// need full control, so we implement KSA and PRGA directly.
+//
+// The cipher follows the classic description: the Key Scheduling Algorithm
+// (KSA) initializes a 256-byte permutation S from the key, and the
+// Pseudo-Random Generation Algorithm (PRGA) walks S with public counter i and
+// private index j, emitting one keystream byte per round. All index
+// arithmetic is modulo 256.
+package rc4
+
+import "fmt"
+
+// StateSize is the size of the RC4 permutation.
+const StateSize = 256
+
+// MinKeyLen and MaxKeyLen bound the accepted key lengths. RC4 keys are
+// 1..256 bytes; the paper uses 16-byte keys throughout (both for random-key
+// datasets and for TKIP per-packet keys).
+const (
+	MinKeyLen = 1
+	MaxKeyLen = 256
+)
+
+// Cipher is an RC4 instance. The zero value is not usable; construct with
+// New or NewFromState.
+type Cipher struct {
+	s    [StateSize]byte
+	i, j uint8
+}
+
+// KeySizeError is returned by New for out-of-range key lengths.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("rc4: invalid key size %d (want %d..%d)", int(k), MinKeyLen, MaxKeyLen)
+}
+
+// New creates an RC4 cipher keyed with key, running the full KSA.
+func New(key []byte) (*Cipher, error) {
+	if len(key) < MinKeyLen || len(key) > MaxKeyLen {
+		return nil, KeySizeError(len(key))
+	}
+	var c Cipher
+	c.ksa(key)
+	return &c, nil
+}
+
+// MustNew is New but panics on a bad key length. It is intended for callers
+// that construct keys of a fixed, known-valid length (e.g. the dataset
+// generators, which always use 16-byte keys).
+func MustNew(key []byte) *Cipher {
+	c, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewFromState builds a cipher with an explicit internal state. It is used
+// by tests and by analyses that model RC4 mid-stream (e.g. checking the
+// Fluhrer–McGrew digraph model, which assumes a uniformly random internal
+// state). The permutation is copied; i and j are the PRGA indices as they
+// stand *before* the next round (the PRGA increments i first).
+func NewFromState(s [StateSize]byte, i, j uint8) *Cipher {
+	return &Cipher{s: s, i: i, j: j}
+}
+
+// ksa runs the Key Scheduling Algorithm.
+func (c *Cipher) ksa(key []byte) {
+	for n := 0; n < StateSize; n++ {
+		c.s[n] = byte(n)
+	}
+	var j uint8
+	for n := 0; n < StateSize; n++ {
+		j += c.s[n] + key[n%len(key)]
+		c.s[n], c.s[j] = c.s[j], c.s[n]
+	}
+	c.i, c.j = 0, 0
+}
+
+// Next returns the next keystream byte (one PRGA round).
+func (c *Cipher) Next() byte {
+	c.i++
+	c.j += c.s[c.i]
+	c.s[c.i], c.s[c.j] = c.s[c.j], c.s[c.i]
+	return c.s[uint8(c.s[c.i]+c.s[c.j])]
+}
+
+// Keystream fills dst with the next len(dst) keystream bytes. It is the
+// hot path for dataset generation, so the state is kept in locals.
+func (c *Cipher) Keystream(dst []byte) {
+	i, j := c.i, c.j
+	s := &c.s
+	for n := range dst {
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+		dst[n] = s[uint8(s[i]+s[j])]
+	}
+	c.i, c.j = i, j
+}
+
+// XORKeyStream sets dst[n] = src[n] XOR keystream. dst and src must overlap
+// entirely or not at all, and len(dst) must be >= len(src).
+func (c *Cipher) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("rc4: output smaller than input")
+	}
+	i, j := c.i, c.j
+	s := &c.s
+	for n, v := range src {
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+		dst[n] = v ^ s[uint8(s[i]+s[j])]
+	}
+	c.i, c.j = i, j
+}
+
+// Skip advances the keystream by n bytes without producing output.
+// Mironov's recommendation to drop the initial 12*256 bytes, and the
+// long-term dataset's 1023-byte drop, are implemented with Skip.
+func (c *Cipher) Skip(n int) {
+	i, j := c.i, c.j
+	s := &c.s
+	for ; n > 0; n-- {
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+	}
+	c.i, c.j = i, j
+}
+
+// State returns a copy of the permutation and the current i, j indices.
+func (c *Cipher) State() (s [StateSize]byte, i, j uint8) {
+	return c.s, c.i, c.j
+}
+
+// Reset zeroes the cipher state so key material does not linger.
+func (c *Cipher) Reset() {
+	for n := range c.s {
+		c.s[n] = 0
+	}
+	c.i, c.j = 0, 0
+}

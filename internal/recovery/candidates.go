@@ -1,0 +1,306 @@
+package recovery
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+)
+
+// Candidate is one plaintext guess with its log-likelihood score.
+type Candidate struct {
+	Plaintext []byte
+	Score     float64
+}
+
+// SingleByteEnumerator lazily yields plaintext candidates in decreasing
+// likelihood from per-position single-byte log-likelihoods — the role of
+// the paper's Algorithm 1. Where Algorithm 1 materializes the N best
+// candidates length by length, this enumerator performs a best-first walk
+// of the rank lattice, which yields exactly the same order but lets callers
+// walk arbitrarily deep lists without choosing N up front. That is what the
+// TKIP attack needs: it traverses candidates until one passes the ICV check
+// (§5.3, Figures 8 and 9), and the stopping depth is not known in advance.
+type SingleByteEnumerator struct {
+	// sortedVals[r][rank] is the plaintext byte with the rank-th highest
+	// likelihood at position r; sortedScores[r][rank] its log-likelihood.
+	sortedVals   [][]byte
+	sortedScores [][]float64
+	queue        candidateHeap
+	seenGuard    map[string]struct{}
+}
+
+type heapNode struct {
+	score float64
+	ranks []uint8 // rank per position into sortedVals
+}
+
+type candidateHeap []heapNode
+
+func (h candidateHeap) Len() int            { return len(h) }
+func (h candidateHeap) Less(i, j int) bool  { return h[i].score > h[j].score } // max-heap
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(heapNode)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewSingleByteEnumerator builds an enumerator over len(likelihoods)
+// plaintext byte positions.
+func NewSingleByteEnumerator(likelihoods []*ByteLikelihoods) (*SingleByteEnumerator, error) {
+	if len(likelihoods) == 0 {
+		return nil, errors.New("recovery: no positions")
+	}
+	e := &SingleByteEnumerator{
+		sortedVals:   make([][]byte, len(likelihoods)),
+		sortedScores: make([][]float64, len(likelihoods)),
+		seenGuard:    make(map[string]struct{}),
+	}
+	var first float64
+	for r, l := range likelihoods {
+		vals := make([]byte, 256)
+		for v := range vals {
+			vals[v] = byte(v)
+		}
+		sort.SliceStable(vals, func(a, b int) bool { return l[vals[a]] > l[vals[b]] })
+		scores := make([]float64, 256)
+		for rank, v := range vals {
+			scores[rank] = l[v]
+		}
+		e.sortedVals[r] = vals
+		e.sortedScores[r] = scores
+		first += scores[0]
+	}
+	root := heapNode{score: first, ranks: make([]uint8, len(likelihoods))}
+	heap.Push(&e.queue, root)
+	e.seenGuard[string(root.ranks)] = struct{}{}
+	return e, nil
+}
+
+// Next returns the next most likely candidate, or ok == false when the
+// space (256^L candidates) is exhausted.
+func (e *SingleByteEnumerator) Next() (Candidate, bool) {
+	if e.queue.Len() == 0 {
+		return Candidate{}, false
+	}
+	node := heap.Pop(&e.queue).(heapNode)
+	// Children: bump the rank at each position. To avoid enumerating the
+	// same rank vector twice we only bump positions at or after the last
+	// non-zero rank (the standard lattice-enumeration de-duplication),
+	// backed by a seen-set for safety at small depths.
+	last := 0
+	for r := len(node.ranks) - 1; r >= 0; r-- {
+		if node.ranks[r] != 0 {
+			last = r
+			break
+		}
+	}
+	for r := last; r < len(node.ranks); r++ {
+		if int(node.ranks[r]) >= 255 {
+			continue
+		}
+		child := heapNode{
+			score: node.score - e.sortedScores[r][node.ranks[r]] + e.sortedScores[r][node.ranks[r]+1],
+			ranks: append([]uint8(nil), node.ranks...),
+		}
+		child.ranks[r]++
+		key := string(child.ranks)
+		if _, dup := e.seenGuard[key]; dup {
+			continue
+		}
+		e.seenGuard[key] = struct{}{}
+		heap.Push(&e.queue, child)
+	}
+	pt := make([]byte, len(node.ranks))
+	for r, rank := range node.ranks {
+		pt[r] = e.sortedVals[r][rank]
+	}
+	return Candidate{Plaintext: pt, Score: node.score}, true
+}
+
+// SingleByteCandidates materializes the N most likely plaintexts — the
+// paper's Algorithm 1 interface.
+func SingleByteCandidates(likelihoods []*ByteLikelihoods, n int) ([]Candidate, error) {
+	if n <= 0 {
+		return nil, errors.New("recovery: need n > 0")
+	}
+	e, err := NewSingleByteEnumerator(likelihoods)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, 0, n)
+	for len(out) < n {
+		c, ok := e.Next()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// SearchSingleByte walks the candidate list until accept returns true,
+// returning that candidate and its 1-based position in the list. This is
+// the §5.3 ICV-pruning loop. maxDepth bounds the walk (0 means unbounded).
+func SearchSingleByte(likelihoods []*ByteLikelihoods, accept func([]byte) bool, maxDepth int) (Candidate, int, error) {
+	e, err := NewSingleByteEnumerator(likelihoods)
+	if err != nil {
+		return Candidate{}, 0, err
+	}
+	for depth := 1; maxDepth == 0 || depth <= maxDepth; depth++ {
+		c, ok := e.Next()
+		if !ok {
+			break
+		}
+		if accept(c.Plaintext) {
+			return c, depth, nil
+		}
+	}
+	return Candidate{}, 0, errors.New("recovery: no candidate accepted")
+}
+
+// DoubleByteCandidates implements the paper's Algorithm 2: a list-Viterbi
+// (N-best) decode over double-byte likelihoods modeled as a first-order
+// time-inhomogeneous HMM (§4.4). likelihoods[r] scores the plaintext pair
+// at positions (r+1, r+2) in 1-indexed paper notation; the plaintext has
+// len(likelihoods)+1 bytes of which the first and last are known (m1, mL).
+// charset, when non-nil, restricts the interior bytes to the allowed set —
+// the §6.2 RFC 6265 cookie-alphabet optimization.
+func DoubleByteCandidates(likelihoods []*PairLikelihoods, m1, mL byte, n int, charset []byte) ([]Candidate, error) {
+	if n <= 0 {
+		return nil, errors.New("recovery: need n > 0")
+	}
+	L := len(likelihoods) + 1 // plaintext length including m1 and mL
+	if L < 3 {
+		return nil, errors.New("recovery: need at least one unknown byte between m1 and mL")
+	}
+	interior := charset
+	if interior == nil {
+		interior = make([]byte, 256)
+		for i := range interior {
+			interior[i] = byte(i)
+		}
+	}
+	if len(interior) == 0 {
+		return nil, errors.New("recovery: empty charset")
+	}
+
+	// lists[v] is the N-best list (descending) of prefixes ending in value v.
+	lists := make(map[byte][]entry2, len(interior))
+	// Position 2 (paper indexing): prefixes m1‖µ2.
+	for _, v := range interior {
+		lists[v] = []entry2{{score: likelihoods[0].At(m1, v)}}
+	}
+	backs := make([]map[byte][]entry2, L+1)
+	backs[2] = lists
+
+	// merge produces the N best entries ending in value v at position r
+	// from all predecessor lists.
+	for r := 3; r <= L; r++ {
+		prev := backs[r-1]
+		cur := make(map[byte][]entry2, len(interior))
+		targets := interior
+		if r == L {
+			targets = []byte{mL}
+		}
+		for _, v := range targets {
+			cur[v] = mergeNBest(prev, interior, likelihoods[r-2], v, n)
+		}
+		backs[r] = cur
+	}
+
+	final := backs[L][mL]
+	out := make([]Candidate, len(final))
+	for i, e := range final {
+		pt := make([]byte, L)
+		pt[L-1] = mL
+		v, idx := e.prevV, e.prevI
+		for r := L - 1; r >= 2; r-- {
+			pt[r-1] = v
+			ent := backs[r][v][idx]
+			v, idx = ent.prevV, ent.prevI
+		}
+		pt[0] = m1
+		out[i] = Candidate{Plaintext: pt, Score: e.score}
+	}
+	return out, nil
+}
+
+// mergeNBest selects the n best extensions ending in value v, drawing from
+// the per-predecessor sorted lists with a heap (each predecessor list is
+// already sorted, so the best unseen element per predecessor is a frontier).
+func mergeNBest(prev map[byte][]entry2, interior []byte, lk *PairLikelihoods, v byte, n int) []entry2 {
+	fh := make(frontierHeap, 0, len(interior))
+	for _, pv := range interior {
+		pl := prev[pv]
+		if len(pl) == 0 {
+			continue
+		}
+		fh = append(fh, frontier{score: pl[0].score + lk.At(pv, v), pv: pv, idx: 0})
+	}
+	heap.Init(&fh)
+	out := make([]entry2, 0, n)
+	for len(out) < n && fh.Len() > 0 {
+		top := fh[0]
+		out = append(out, entry2{score: top.score, prevV: top.pv, prevI: top.idx})
+		pl := prev[top.pv]
+		if int(top.idx)+1 < len(pl) {
+			fh[0] = frontier{
+				score: pl[top.idx+1].score + lk.At(top.pv, v),
+				pv:    top.pv,
+				idx:   top.idx + 1,
+			}
+			heap.Fix(&fh, 0)
+		} else {
+			heap.Pop(&fh)
+		}
+	}
+	return out
+}
+
+// entry2 is one N-best list element: a prefix score plus the backpointer to
+// the (value, rank) it extends.
+type entry2 struct {
+	score float64
+	prevV byte
+	prevI uint32
+}
+
+// frontier is the best unconsumed element of one predecessor list.
+type frontier struct {
+	score float64
+	pv    byte
+	idx   uint32
+}
+
+type frontierHeap []frontier
+
+func (h frontierHeap) Len() int            { return len(h) }
+func (h frontierHeap) Less(i, j int) bool  { return h[i].score > h[j].score }
+func (h frontierHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *frontierHeap) Push(x interface{}) { *h = append(*h, x.(frontier)) }
+func (h *frontierHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ScoreSequence computes the total log-likelihood of a full plaintext under
+// the double-byte likelihood chain — a convenience for tests and for
+// checking where the true plaintext ranks.
+func ScoreSequence(likelihoods []*PairLikelihoods, pt []byte) float64 {
+	if len(pt) != len(likelihoods)+1 {
+		return math.Inf(-1)
+	}
+	var sum float64
+	for r := 0; r < len(likelihoods); r++ {
+		sum += likelihoods[r].At(pt[r], pt[r+1])
+	}
+	return sum
+}

@@ -1,0 +1,96 @@
+package recovery
+
+import (
+	"errors"
+
+	"rc4break/internal/biases"
+)
+
+// This file implements the counting-style recovery that Isobe et al. used
+// with Mantin's ABSAB bias (§7: "they used a counting technique instead of
+// Bayesian likelihoods"). It is the baseline the paper's Bayesian method
+// improves on, kept here so the two can be compared head to head (see the
+// §7 ablation bench). The counting estimator picks, per candidate pair, the
+// raw number of ciphertext differentials that vote for it — ignoring both
+// the per-gap bias strength α(g) and the FM evidence.
+
+// CountingVotes accumulates unweighted votes for candidate plaintext pairs
+// from ABSAB differentials.
+type CountingVotes struct {
+	votes [65536]uint32
+	n     uint64
+}
+
+// AddDifferential registers one observed ciphertext differential (d1, d2)
+// against the known plaintext pair (k1, k2) at the far end of the gap: the
+// candidate it votes for is (d1 ⊕ k1, d2 ⊕ k2). The gap is deliberately
+// ignored — that is the defining simplification of the counting approach.
+func (c *CountingVotes) AddDifferential(d1, d2, k1, k2 byte) {
+	c.votes[int(d1^k1)*256+int(d2^k2)]++
+	c.n++
+}
+
+// AddHistogram folds a whole per-gap differential histogram at once.
+func (c *CountingVotes) AddHistogram(hist []uint64, k1, k2 byte) error {
+	if len(hist) != 65536 {
+		return errors.New("recovery: histogram must have 65536 entries")
+	}
+	for d1 := 0; d1 < 256; d1++ {
+		row := hist[d1*256 : d1*256+256]
+		vrow := c.votes[(d1^int(k1))*256 : (d1^int(k1))*256+256]
+		for d2, cnt := range row {
+			if cnt != 0 {
+				vrow[d2^int(k2)] += uint32(cnt)
+				c.n += cnt
+			}
+		}
+	}
+	return nil
+}
+
+// Best returns the candidate pair with the most votes.
+func (c *CountingVotes) Best() (mu1, mu2 byte) {
+	var bi int
+	var best uint32
+	for i, v := range c.votes {
+		if v > best {
+			best = v
+			bi = i
+		}
+	}
+	return byte(bi >> 8), byte(bi & 0xff)
+}
+
+// Votes returns the vote count for a candidate pair.
+func (c *CountingVotes) Votes(mu1, mu2 byte) uint32 {
+	return c.votes[int(mu1)*256+int(mu2)]
+}
+
+// Total returns the number of differentials counted.
+func (c *CountingVotes) Total() uint64 { return c.n }
+
+// BayesianFromVotesWouldDiffer reports whether weighting the same evidence
+// by ABSABWeight would rank candidates differently from raw counting for
+// the two given candidates, given per-gap vote splits. It exists to make
+// the difference between the approaches inspectable in tests: counting is
+// a special case of the Bayesian estimator with all gap weights equal.
+func BayesianFromVotesWouldDiffer(votesA, votesB []uint64, gaps []int) (bool, error) {
+	if len(votesA) != len(gaps) || len(votesB) != len(gaps) {
+		return false, errors.New("recovery: votes/gaps length mismatch")
+	}
+	var cntA, cntB uint64
+	var bayA, bayB float64
+	for i, g := range gaps {
+		if g < 0 || g > 4*biases.MaxUsefulGap {
+			return false, errors.New("recovery: implausible gap")
+		}
+		w := ABSABWeight(g)
+		cntA += votesA[i]
+		cntB += votesB[i]
+		bayA += float64(votesA[i]) * w
+		bayB += float64(votesB[i]) * w
+	}
+	countingPrefersA := cntA > cntB
+	bayesPrefersA := bayA > bayB
+	return countingPrefersA != bayesPrefersA, nil
+}

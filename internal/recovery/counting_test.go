@@ -1,0 +1,95 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountingVotesRecoversStrongSignal(t *testing.T) {
+	// With a strong coincidence rate, raw counting finds the pair too.
+	const truth1, truth2 = 'h', 'i'
+	const known1, known2 = 'K', 'L'
+	rng := rand.New(rand.NewSource(10))
+	var cv CountingVotes
+	const n = 1 << 18
+	for i := 0; i < n; i++ {
+		var d1, d2 byte
+		if rng.Float64() < 0.01 {
+			d1, d2 = truth1^known1, truth2^known2 // coincidence: Ĉ = P̂
+		} else {
+			v := rng.Intn(65536)
+			d1, d2 = byte(v>>8), byte(v)
+		}
+		cv.AddDifferential(d1, d2, known1, known2)
+	}
+	m1, m2 := cv.Best()
+	if m1 != truth1 || m2 != truth2 {
+		t.Errorf("counting recovered (%q,%q)", m1, m2)
+	}
+	if cv.Total() != n {
+		t.Errorf("total %d", cv.Total())
+	}
+	if cv.Votes(truth1, truth2) <= n/65536 {
+		t.Error("true pair did not accumulate excess votes")
+	}
+}
+
+func TestAddHistogramMatchesAddDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	hist := make([]uint64, 65536)
+	var a, b CountingVotes
+	const k1, k2 = 0x5a, 0xa5
+	for i := 0; i < 5000; i++ {
+		v := rng.Intn(65536)
+		d1, d2 := byte(v>>8), byte(v)
+		hist[int(d1)*256+int(d2)]++
+		a.AddDifferential(d1, d2, k1, k2)
+	}
+	if err := b.AddHistogram(hist, k1, k2); err != nil {
+		t.Fatal(err)
+	}
+	if a.n != b.n {
+		t.Fatalf("totals differ: %d vs %d", a.n, b.n)
+	}
+	for i := range a.votes {
+		if a.votes[i] != b.votes[i] {
+			t.Fatalf("vote cell %d differs", i)
+		}
+	}
+	if err := b.AddHistogram(make([]uint64, 3), 0, 0); err == nil {
+		t.Error("short histogram accepted")
+	}
+}
+
+func TestCountingVsBayesianDisagreement(t *testing.T) {
+	// The defining weakness of counting (§7): a vote through a long gap
+	// counts as much as one through a short gap, although the short gap's
+	// bias is stronger. Construct per-gap splits where candidate A gets
+	// slightly more raw votes but mostly through long gaps, while B's
+	// votes come through short gaps: the Bayesian weighting flips the
+	// ranking.
+	gaps := []int{0, 128}
+	votesA := []uint64{100, 210} // 310 total, mostly long-gap
+	votesB := []uint64{205, 100} // 305 total, mostly short-gap
+	differ, err := BayesianFromVotesWouldDiffer(votesA, votesB, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !differ {
+		t.Error("expected counting and Bayesian rankings to disagree")
+	}
+	// Same split through the same gap: no disagreement possible.
+	same, err := BayesianFromVotesWouldDiffer([]uint64{10, 10}, []uint64{5, 5}, gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same {
+		t.Error("uniformly larger votes must win under both rankings")
+	}
+	if _, err := BayesianFromVotesWouldDiffer([]uint64{1}, []uint64{1, 2}, gaps); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BayesianFromVotesWouldDiffer([]uint64{1}, []uint64{1}, []int{-1}); err == nil {
+		t.Error("negative gap accepted")
+	}
+}

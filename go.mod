@@ -1,0 +1,3 @@
+module rc4break
+
+go 1.22

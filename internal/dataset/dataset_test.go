@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"rc4break/internal/rc4"
@@ -311,7 +312,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestCollectLongTermMechanics(t *testing.T) {
-	lt := CollectLongTerm([16]byte{7}, 4, 16, 2)
+	lt, err := CollectLongTerm(context.Background(), [16]byte{7}, 4, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantPairs := uint64(4 * 16 * 256)
 	if lt.Pairs != wantPairs {
 		t.Fatalf("Pairs = %d, want %d", lt.Pairs, wantPairs)
@@ -350,7 +354,10 @@ func TestTargetedLongTermMatchesFullTable(t *testing.T) {
 		{I: -1, X: 0, Y: 1, YPlusI: true},   // (0, i+1)
 		{I: -1, X: 1, Y: 255, XPlusI: true}, // (i+1, 255)
 	}
-	tt := CollectLongTermTargeted(master, 3, 8, 1, cells)
+	tt, err := CollectLongTermTargeted(context.Background(), master, 3, 8, 1, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lt := collectLongTermLanes(master, 3, 8)
 	if tt.Pairs != lt.Pairs {
 		t.Fatalf("pair totals differ: %d vs %d", tt.Pairs, lt.Pairs)

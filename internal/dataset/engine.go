@@ -1,0 +1,305 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rc4break/internal/rc4"
+)
+
+// This file is the unified parallel keystream-generation engine. Every
+// fan-out loop in the repository — the short-term Observer datasets, the
+// long-term digraph collectors, the ABSAB/eq.9 window scans, and TKIP per-TSC
+// model training — used to hand-roll the same structure: split keys over
+// workers, give each worker a KeySource lane, run KSA + skip + generate per
+// key, and merge per-worker counters at the end. The Engine owns that
+// structure once, and adds what none of the copies had: context cancellation
+// and progress reporting for paper-scale runs.
+//
+// The delivery model is block-windowed: each key's keystream is delivered as
+// Blocks windows of Overlap+BlockLen bytes, where the first Overlap bytes of
+// a window repeat the tail of the previous one. Digraph counters set
+// Overlap=1 so pairs spanning block boundaries are seen; the ABSAB scan sets
+// Overlap=maxGap+4 so the second digraph of the largest gap fits; short-term
+// observers set Overlap=0, Blocks=1 and receive each keystream prefix whole.
+
+// Stream describes what to generate for every key of a run.
+type Stream struct {
+	// Master is the AES-128 master key all RC4 keys derive from (see
+	// KeySource). The zero value is valid and gives reproducible runs.
+	Master [16]byte
+	// KeyLen is the RC4 key length in bytes; 0 means 16.
+	KeyLen int
+	// KeyDeriver, when non-nil, post-processes each derived key before use.
+	// keyIndex is the global key index (shard.FirstKey + offset).
+	KeyDeriver func(keyIndex uint64, key []byte)
+	// Skip discards this many initial keystream bytes per key.
+	Skip int
+	// Overlap is how many bytes of each window repeat the previous window's
+	// tail (the cross-block carry digraph counters need). The first window's
+	// overlap bytes are the first post-skip keystream bytes.
+	Overlap int
+	// BlockLen is how many fresh keystream bytes each window adds.
+	BlockLen int
+	// Blocks is the number of windows delivered per key; 0 means 1.
+	Blocks int
+}
+
+func (st Stream) withDefaults() Stream {
+	if st.KeyLen == 0 {
+		st.KeyLen = 16
+	}
+	if st.Blocks == 0 {
+		st.Blocks = 1
+	}
+	return st
+}
+
+func (st Stream) validate() error {
+	if st.KeyLen < rc4.MinKeyLen || st.KeyLen > rc4.MaxKeyLen {
+		return rc4.KeySizeError(st.KeyLen)
+	}
+	if st.Skip < 0 || st.Overlap < 0 || st.BlockLen < 0 || st.Blocks < 1 {
+		return fmt.Errorf("dataset: invalid stream (skip=%d overlap=%d blocklen=%d blocks=%d)",
+			st.Skip, st.Overlap, st.BlockLen, st.Blocks)
+	}
+	return nil
+}
+
+// Shard is one unit of engine work: Keys consecutive keys drawn from the
+// KeySource lane Lane, with global key indices starting at FirstKey.
+type Shard struct {
+	Lane     uint64
+	FirstKey uint64
+	Keys     uint64
+}
+
+// SplitKeys builds the canonical shard layout every pre-Engine loop used:
+// keys split as evenly as possible over workers (the first keys%workers
+// shards get one extra), shard w drawing from lane laneOffset+w. Workers is
+// clamped to [1, keys] (GOMAXPROCS when <= 0); zero keys yields no shards.
+func SplitKeys(keys uint64, workers int, laneOffset uint64) []Shard {
+	if keys == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if uint64(workers) > keys {
+		workers = int(keys)
+	}
+	shards := make([]Shard, workers)
+	per := keys / uint64(workers)
+	extra := keys % uint64(workers)
+	var start uint64
+	for w := range shards {
+		n := per
+		if uint64(w) < extra {
+			n++
+		}
+		shards[w] = Shard{Lane: laneOffset + uint64(w), FirstKey: start, Keys: n}
+		start += n
+	}
+	return shards
+}
+
+// Sink consumes the windows of one shard and merges with sinks of other
+// shards. Window runs once per generated window in the hot loop, so
+// implementations must keep it cheap; the slice is only valid for the
+// duration of the call. Merge is called on the shard-0 sink with every other
+// shard's sink, in shard order, after all generation finishes.
+type Sink interface {
+	Window(win []byte)
+	Merge(other Sink) error
+}
+
+// Engine runs parallel keystream generation. The zero value is ready to use:
+// it runs one worker goroutine per GOMAXPROCS, capped at the shard count.
+type Engine struct {
+	// Workers is the number of parallel worker goroutines; 0 means
+	// GOMAXPROCS. Shards are handed to workers from a queue, so Workers
+	// only bounds parallelism — results are identical for any value.
+	Workers int
+}
+
+// Run generates every shard's keystream windows in parallel, folds them into
+// per-shard sinks produced by newSink (called once per shard, in shard
+// order, before generation starts), and merges the sinks in shard order.
+// The merged sink is returned; it is nil when shards is empty.
+//
+// ctx cancellation aborts the run and returns the context error. A progress
+// callback attached with WithProgress is invoked as keys complete.
+func (e Engine) Run(ctx context.Context, st Stream, shards []Shard, newSink func(shard int) Sink) (Sink, error) {
+	st = st.withDefaults()
+	if err := st.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(shards) == 0 {
+		return nil, nil
+	}
+	sinks := make([]Sink, len(shards))
+	for i := range sinks {
+		sinks[i] = newSink(i)
+	}
+
+	var total uint64
+	for _, sh := range shards {
+		total += sh.Keys
+	}
+	prog := newProgressMeter(ctx, total)
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+
+	idx := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idx {
+				if errs[w] != nil {
+					continue // drain the queue after a failure
+				}
+				errs[w] = runShard(ctx, st, shards[i], sinks[i], prog)
+			}
+		}(w)
+	}
+	for i := range shards {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := sinks[0]
+	for _, s := range sinks[1:] {
+		if err := merged.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// cancelCheckBlocks is how many windows a worker generates between context
+// checks inside a single key. Long-term keys can span gigabytes of
+// keystream, so per-key checks alone would not keep cancellation responsive.
+const cancelCheckBlocks = 1024
+
+// runShard generates one shard's keys and feeds the windows to its sink.
+func runShard(ctx context.Context, st Stream, sh Shard, sink Sink, prog *progressMeter) error {
+	src := NewKeySource(st.Master, sh.Lane)
+	key := make([]byte, st.KeyLen)
+	win := make([]byte, st.Overlap+st.BlockLen)
+	var c rc4.Cipher
+	for k := uint64(0); k < sh.Keys; k++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		src.NextKey(key)
+		if st.KeyDeriver != nil {
+			st.KeyDeriver(sh.FirstKey+k, key)
+		}
+		if err := c.Rekey(key); err != nil {
+			return err
+		}
+		// One fused call covers the per-key drop plus the first window
+		// (overlap prefix and first block alike are fresh bytes).
+		c.SkipKeystream(st.Skip, win)
+		sink.Window(win)
+		for b := 1; b < st.Blocks; b++ {
+			if b%cancelCheckBlocks == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			copy(win, win[st.BlockLen:])
+			c.Keystream(win[st.Overlap:])
+			sink.Window(win)
+		}
+		prog.done()
+	}
+	return nil
+}
+
+// progressKey is the context key WithProgress stores the callback under.
+type progressKey struct{}
+
+// Progress receives generation progress: keys completed so far out of the
+// run's total. It may be invoked from multiple worker goroutines, but calls
+// are serialized — implementations need no locking of their own.
+type Progress func(keysDone, keysTotal uint64)
+
+// WithProgress returns a context that carries a progress callback for engine
+// runs (and everything built on them: Run, the long-term collectors, TKIP
+// training). The callback fires roughly progressGranularity times per run
+// plus once at completion.
+func WithProgress(ctx context.Context, fn Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressGranularity is roughly how many times per run the progress
+// callback fires (at most once per completed key).
+const progressGranularity = 256
+
+// progressMeter turns per-key completions into serialized Progress calls.
+type progressMeter struct {
+	fn       Progress
+	total    uint64
+	every    uint64
+	count    atomic.Uint64
+	mu       sync.Mutex
+	reported uint64 // highest done value delivered, guarded by mu
+}
+
+func newProgressMeter(ctx context.Context, total uint64) *progressMeter {
+	fn, _ := ctx.Value(progressKey{}).(Progress)
+	if fn == nil {
+		return nil
+	}
+	every := total / progressGranularity
+	if every == 0 {
+		every = 1
+	}
+	return &progressMeter{fn: fn, total: total, every: every}
+}
+
+// done records one completed key, invoking the callback on every crossing of
+// the reporting granularity and at the final key. Delivered counts are
+// strictly increasing: a worker that crossed an earlier threshold but lost
+// the race for the lock stays silent rather than reporting stale progress.
+func (p *progressMeter) done() {
+	if p == nil {
+		return
+	}
+	d := p.count.Add(1)
+	if d%p.every == 0 || d == p.total {
+		p.mu.Lock()
+		if d > p.reported {
+			p.reported = d
+			p.fn(d, p.total)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// errIncompatibleSink is returned by sink Merge implementations on a type or
+// shape mismatch.
+var errIncompatibleSink = errors.New("dataset: incompatible sink merge")

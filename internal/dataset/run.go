@@ -1,11 +1,22 @@
 package dataset
 
 import (
+	"context"
 	"errors"
-	"runtime"
-	"sync"
 
 	"rc4break/internal/rc4"
+)
+
+// Lane offsets keep the KeySource lane spaces of the different collectors
+// disjoint, so no two datasets ever share an RC4 key sequence. The values
+// match the pre-Engine hand-rolled loops, which keeps every dataset in this
+// repository bitwise-reproducible across the refactor.
+const (
+	runLaneOffset      = 0
+	longTermLaneOffset = 1000
+	targetedLaneOffset = 2000
+	// Offsets 3000-5000 are used by the experiments package's long-term
+	// scans (eq. 8, ABSAB, eq. 9).
 )
 
 // Config controls a generation run.
@@ -27,19 +38,31 @@ type Config struct {
 	// The TKIP per-packet key structure (K0..K2 from the TSC, §2.2) hooks
 	// in here.
 	KeyDeriver func(keyIndex uint64, key []byte)
+	// Ctx, when non-nil, cancels the run early; pair with WithProgress to
+	// observe long runs. nil means context.Background().
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
 	if c.KeyLen == 0 {
 		c.KeyLen = 16
 	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	if c.Workers > int(c.Keys) && c.Keys > 0 {
-		c.Workers = int(c.Keys)
-	}
 	return c
+}
+
+// observerSink adapts the per-keystream Observer interface to the engine's
+// window delivery: short-term observers consume each keystream prefix as a
+// single window.
+type observerSink struct{ obs Observer }
+
+func (o observerSink) Window(win []byte) { o.obs.Observe(win) }
+
+func (o observerSink) Merge(other Sink) error {
+	so, ok := other.(observerSink)
+	if !ok {
+		return errIncompatibleSink
+	}
+	return o.obs.Merge(so.obs)
 }
 
 // Run generates cfg.Keys keystreams in parallel and folds them into
@@ -53,125 +76,80 @@ func Run(cfg Config, factory func() Observer) (Observer, error) {
 	if cfg.KeyLen < rc4.MinKeyLen || cfg.KeyLen > rc4.MaxKeyLen {
 		return nil, rc4.KeySizeError(cfg.KeyLen)
 	}
-
-	results := make([]Observer, cfg.Workers)
-	var wg sync.WaitGroup
-	// Split keys across workers; worker w handles indices [start, start+n).
-	per := cfg.Keys / uint64(cfg.Workers)
-	extra := cfg.Keys % uint64(cfg.Workers)
-	var start uint64
-	for w := 0; w < cfg.Workers; w++ {
-		n := per
-		if uint64(w) < extra {
-			n++
-		}
-		obs := factory()
-		results[w] = obs
-		wg.Add(1)
-		go func(lane uint64, firstKey, n uint64, obs Observer) {
-			defer wg.Done()
-			worker(cfg, lane, firstKey, n, obs)
-		}(uint64(w), start, n, obs)
-		start += n
+	shards := SplitKeys(cfg.Keys, cfg.Workers, runLaneOffset)
+	observers := make([]Observer, len(shards))
+	for i := range observers {
+		observers[i] = factory()
 	}
-	wg.Wait()
-
-	merged := results[0]
-	for _, r := range results[1:] {
-		if err := merged.Merge(r); err != nil {
-			return nil, err
-		}
+	sink, err := Engine{Workers: cfg.Workers}.Run(cfg.Ctx, Stream{
+		Master:     cfg.Master,
+		KeyLen:     cfg.KeyLen,
+		KeyDeriver: cfg.KeyDeriver,
+		Skip:       cfg.Skip,
+		BlockLen:   observers[0].KeystreamLen(),
+	}, shards, func(i int) Sink { return observerSink{observers[i]} })
+	if err != nil {
+		return nil, err
 	}
-	return merged, nil
-}
-
-// worker generates n keystreams starting at key index firstKey.
-func worker(cfg Config, lane, firstKey, n uint64, obs Observer) {
-	src := NewKeySource(cfg.Master, lane)
-	key := make([]byte, cfg.KeyLen)
-	need := obs.KeystreamLen()
-	ks := make([]byte, need)
-	for i := uint64(0); i < n; i++ {
-		src.NextKey(key)
-		if cfg.KeyDeriver != nil {
-			cfg.KeyDeriver(firstKey+i, key)
-		}
-		c := rc4.MustNew(key)
-		if cfg.Skip > 0 {
-			c.Skip(cfg.Skip)
-		}
-		c.Keystream(ks)
-		obs.Observe(ks)
-	}
+	return sink.(observerSink).obs, nil
 }
 
 // LongTermDigraphs estimates the long-term digraph distribution by i-value:
 // cell (i, x, y) counts occurrences of (Z_r, Z_r+1) = (x, y) at PRGA counter
 // i = r+1 mod 256, far from the start of the keystream. This is the dataset
-// behind Table 1 verification and the eq. 8 long-term biases. It is not an
-// Observer: it consumes long runs of a few keystreams rather than short
-// prefixes of many.
+// behind Table 1 verification and the eq. 8 long-term biases. It is an
+// engine Sink that consumes long runs of a few keystreams (257-byte windows:
+// one carry byte plus a 256-byte block) rather than short prefixes of many.
 type LongTermDigraphs struct {
 	Counts [256 * 65536]uint64 // [i][x*256+y]
 	Pairs  uint64              // digraphs observed per i-class in total/256
 }
 
+// Window implements Sink. win[0] is the byte before the current 256-byte
+// block (Z at PRGA counter 255 of the previous block), so digraph r within
+// the block starts at counter i = r.
+func (lt *LongTermDigraphs) Window(win []byte) {
+	for r := 0; r < 256; r++ {
+		lt.Counts[r*65536+int(win[r])*256+int(win[r+1])]++
+	}
+	lt.Pairs += 256
+}
+
+// Merge implements Sink.
+func (lt *LongTermDigraphs) Merge(other Sink) error {
+	o, ok := other.(*LongTermDigraphs)
+	if !ok {
+		return errIncompatibleSink
+	}
+	for i := range lt.Counts {
+		lt.Counts[i] += o.Counts[i]
+	}
+	lt.Pairs += o.Pairs
+	return nil
+}
+
+// longTermStream is the §3.4 long-term generation shape: drop 1023 bytes so
+// the first delivered byte is Z_1024 (produced at PRGA counter i = 0), then
+// 256-byte blocks with a one-byte carry for boundary-spanning digraphs.
+func longTermStream(master [16]byte, blocks int) Stream {
+	return Stream{Master: master, Skip: 1023, Overlap: 1, BlockLen: 256, Blocks: blocks}
+}
+
 // CollectLongTerm generates `keys` RC4 keystreams of `blocks` * 256 bytes
 // each (after dropping the first 1023 bytes, §3.4) and counts digraphs by
-// i-value in parallel.
-func CollectLongTerm(master [16]byte, keys, blocks int, workers int) *LongTermDigraphs {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// i-value in parallel. Zero (or negative) keys or blocks yield an empty
+// result.
+func CollectLongTerm(ctx context.Context, master [16]byte, keys, blocks, workers int) (*LongTermDigraphs, error) {
+	if keys <= 0 || blocks <= 0 {
+		return &LongTermDigraphs{}, nil
 	}
-	if workers > keys {
-		workers = keys
+	shards := SplitKeys(uint64(keys), workers, longTermLaneOffset)
+	sink, err := Engine{Workers: workers}.Run(ctx, longTermStream(master, blocks), shards,
+		func(int) Sink { return &LongTermDigraphs{} })
+	if err != nil {
+		return nil, err
 	}
-	results := make([]*LongTermDigraphs, workers)
-	var wg sync.WaitGroup
-	per := keys / workers
-	extra := keys % workers
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		lt := &LongTermDigraphs{}
-		results[w] = lt
-		wg.Add(1)
-		go func(lane uint64, n int, lt *LongTermDigraphs) {
-			defer wg.Done()
-			src := NewKeySource(master, lane)
-			key := make([]byte, 16)
-			// Buffer holds one 256-byte block plus the byte before it so
-			// digraphs spanning block boundaries are counted too.
-			buf := make([]byte, 257)
-			for k := 0; k < n; k++ {
-				src.NextKey(key)
-				c := rc4.MustNew(key)
-				c.Skip(1023)
-				// buf[0] = Z_1024, produced at PRGA counter i = 0; within
-				// each block, digraph r starts at counter i = r.
-				c.Keystream(buf[:1])
-				for b := 0; b < blocks; b++ {
-					c.Keystream(buf[1:])
-					for r := 0; r < 256; r++ {
-						lt.Counts[r*65536+int(buf[r])*256+int(buf[r+1])]++
-					}
-					lt.Pairs += 256
-					buf[0] = buf[256]
-				}
-			}
-		}(uint64(w)+1000, n, lt) // lanes offset so they differ from Run's
-	}
-	wg.Wait()
-	merged := results[0]
-	for _, r := range results[1:] {
-		for i := range merged.Counts {
-			merged.Counts[i] += r.Counts[i]
-		}
-		merged.Pairs += r.Pairs
-	}
-	return merged
+	return sink.(*LongTermDigraphs), nil
 }
 
 // Probability estimates Pr[(Z_r, Z_r+1) = (x, y) | i = r+1 mod 256].
@@ -212,76 +190,61 @@ type TargetedLongTerm struct {
 	PerI   uint64 // digraphs observed per single i-class (Pairs/256)
 }
 
-// CollectLongTermTargeted generates `keys` keystreams of blocks*256 bytes
-// each (after the 1023-byte drop) and counts only the given cells.
-func CollectLongTermTargeted(master [16]byte, keys, blocks, workers int, cells []LongTermCell) *TargetedLongTerm {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > keys {
-		workers = keys
-	}
-	results := make([]*TargetedLongTerm, workers)
-	var wg sync.WaitGroup
-	per := keys / workers
-	extra := keys % workers
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		tt := &TargetedLongTerm{Cells: cells, Counts: make([]uint64, len(cells))}
-		results[w] = tt
-		wg.Add(1)
-		go func(lane uint64, n int, tt *TargetedLongTerm) {
-			defer wg.Done()
-			src := NewKeySource(master, lane)
-			key := make([]byte, 16)
-			buf := make([]byte, 257)
-			for k := 0; k < n; k++ {
-				src.NextKey(key)
-				c := rc4.MustNew(key)
-				c.Skip(1023)
-				// buf[0] = Z_1024 at PRGA counter i = 0; digraph r within a
-				// block starts at counter i = r.
-				c.Keystream(buf[:1])
-				for b := 0; b < blocks; b++ {
-					c.Keystream(buf[1:])
-					for r := 0; r < 256; r++ {
-						x, y := buf[r], buf[r+1]
-						for ci := range tt.Cells {
-							cell := &tt.Cells[ci]
-							if cell.I >= 0 && cell.I != r {
-								continue
-							}
-							cx, cy := cell.X, cell.Y
-							if cell.XPlusI {
-								cx += byte(r)
-							}
-							if cell.YPlusI {
-								cy += byte(r)
-							}
-							if x == cx && y == cy {
-								tt.Counts[ci]++
-							}
-						}
-					}
-					tt.Pairs += 256
-					buf[0] = buf[256]
-				}
+// Window implements Sink; the window layout matches LongTermDigraphs.
+func (tt *TargetedLongTerm) Window(win []byte) {
+	for r := 0; r < 256; r++ {
+		x, y := win[r], win[r+1]
+		for ci := range tt.Cells {
+			cell := &tt.Cells[ci]
+			if cell.I >= 0 && cell.I != r {
+				continue
 			}
-		}(uint64(w)+2000, n, tt)
-	}
-	wg.Wait()
-	merged := results[0]
-	for _, r := range results[1:] {
-		for i := range merged.Counts {
-			merged.Counts[i] += r.Counts[i]
+			cx, cy := cell.X, cell.Y
+			if cell.XPlusI {
+				cx += byte(r)
+			}
+			if cell.YPlusI {
+				cy += byte(r)
+			}
+			if x == cx && y == cy {
+				tt.Counts[ci]++
+			}
 		}
-		merged.Pairs += r.Pairs
 	}
-	merged.PerI = merged.Pairs / 256
-	return merged
+	tt.Pairs += 256
+}
+
+// Merge implements Sink.
+func (tt *TargetedLongTerm) Merge(other Sink) error {
+	o, ok := other.(*TargetedLongTerm)
+	if !ok || len(o.Counts) != len(tt.Counts) {
+		return errIncompatibleSink
+	}
+	for i := range tt.Counts {
+		tt.Counts[i] += o.Counts[i]
+	}
+	tt.Pairs += o.Pairs
+	return nil
+}
+
+// CollectLongTermTargeted generates `keys` keystreams of blocks*256 bytes
+// each (after the 1023-byte drop) and counts only the given cells. Zero (or
+// negative) keys or blocks yield an empty result.
+func CollectLongTermTargeted(ctx context.Context, master [16]byte, keys, blocks, workers int, cells []LongTermCell) (*TargetedLongTerm, error) {
+	newSink := func(int) Sink {
+		return &TargetedLongTerm{Cells: cells, Counts: make([]uint64, len(cells))}
+	}
+	if keys <= 0 || blocks <= 0 {
+		return newSink(0).(*TargetedLongTerm), nil
+	}
+	shards := SplitKeys(uint64(keys), workers, targetedLaneOffset)
+	sink, err := Engine{Workers: workers}.Run(ctx, longTermStream(master, blocks), shards, newSink)
+	if err != nil {
+		return nil, err
+	}
+	tt := sink.(*TargetedLongTerm)
+	tt.PerI = tt.Pairs / 256
+	return tt, nil
 }
 
 // Probability estimates the probability of cell ci: conditioned on its

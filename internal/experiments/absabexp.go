@@ -1,14 +1,51 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"context"
+	"errors"
 
 	"rc4break/internal/biases"
 	"rc4break/internal/dataset"
-	"rc4break/internal/rc4"
 	"rc4break/internal/stats"
 )
+
+// errIncompatibleTally is returned by the experiment sinks' Merge on a type
+// mismatch.
+var errIncompatibleTally = errors.New("experiments: incompatible tally merge")
+
+// absabTally counts, per gap, digraph coincidences within engine windows of
+// 256-byte blocks plus a maxGap+4-byte overlap: the block under scan is
+// win[0:256] and the overlap provides the lookahead for the second digraph
+// of the largest gap.
+type absabTally struct {
+	gaps  []int
+	hits  []uint64
+	total []uint64
+}
+
+func (t *absabTally) Window(win []byte) {
+	for r := 0; r+3 <= 256; r++ {
+		for gi, g := range t.gaps {
+			s := r + 2 + g
+			if win[r] == win[s] && win[r+1] == win[s+1] {
+				t.hits[gi]++
+			}
+			t.total[gi]++
+		}
+	}
+}
+
+func (t *absabTally) Merge(other dataset.Sink) error {
+	o, ok := other.(*absabTally)
+	if !ok || len(o.hits) != len(t.hits) {
+		return errIncompatibleTally
+	}
+	for i := range t.hits {
+		t.hits[i] += o.hits[i]
+		t.total[i] += o.total[i]
+	}
+	return nil
+}
 
 // ABSABGapVerification reproduces the §4.2 measurement behind "we
 // empirically confirmed Mantin's ABSAB bias up to gap sizes of at least
@@ -18,15 +55,9 @@ import (
 // proportion-test z against uniform. The paper also notes the theoretical
 // estimate slightly underpredicts the true bias — visible here at larger
 // sample sizes.
-func ABSABGapVerification(master [16]byte, keys, blocks int, gaps []int, workers int) (Result, error) {
+func ABSABGapVerification(ctx context.Context, master [16]byte, keys, blocks int, gaps []int, workers int) (Result, error) {
 	if len(gaps) == 0 {
 		gaps = []int{0, 1, 2, 4, 8, 16, 32, 64, 128}
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > keys {
-		workers = keys
 	}
 	maxGap := 0
 	for _, g := range gaps {
@@ -34,61 +65,23 @@ func ABSABGapVerification(master [16]byte, keys, blocks int, gaps []int, workers
 			maxGap = g
 		}
 	}
-	blockLen := 256
 
-	type tally struct {
-		hits  []uint64
-		total []uint64
-	}
-	results := make([]tally, workers)
-	var wg sync.WaitGroup
-	per := keys / workers
-	extra := keys % workers
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
+	tot := &absabTally{gaps: gaps, hits: make([]uint64, len(gaps)), total: make([]uint64, len(gaps))}
+	if keys > 0 && blocks > 0 {
+		shards := dataset.SplitKeys(uint64(keys), workers, absabLaneOffset)
+		sink, err := dataset.Engine{Workers: workers}.Run(ctx, dataset.Stream{
+			// The scanned block is the window head; the overlap supplies
+			// the second digraph of the largest gap (r+2+g+1 lookahead).
+			Master: master, Skip: 1023, Overlap: maxGap + 4, BlockLen: 256, Blocks: blocks,
+		}, shards, func(int) dataset.Sink {
+			return &absabTally{gaps: gaps, hits: make([]uint64, len(gaps)), total: make([]uint64, len(gaps))}
+		})
+		if err != nil {
+			return Result{}, err
 		}
-		results[w] = tally{hits: make([]uint64, len(gaps)), total: make([]uint64, len(gaps))}
-		wg.Add(1)
-		go func(w int, lane uint64, n int) {
-			defer wg.Done()
-			ta := &results[w]
-			src := dataset.NewKeySource(master, lane)
-			key := make([]byte, 16)
-			// Window big enough for the largest gap's second digraph.
-			buf := make([]byte, blockLen+maxGap+4)
-			for k := 0; k < n; k++ {
-				src.NextKey(key)
-				c := rc4.MustNew(key)
-				c.Skip(1023)
-				c.Keystream(buf)
-				for b := 0; b < blocks; b++ {
-					for r := 0; r+3 <= blockLen; r++ {
-						for gi, g := range gaps {
-							s := r + 2 + g
-							if buf[r] == buf[s] && buf[r+1] == buf[s+1] {
-								ta.hits[gi]++
-							}
-							ta.total[gi]++
-						}
-					}
-					// Slide the window: keep the tail needed for gaps.
-					copy(buf, buf[blockLen:])
-					c.Keystream(buf[maxGap+4:])
-				}
-			}
-		}(w, uint64(w)+4000, n)
+		tot = sink.(*absabTally)
 	}
-	wg.Wait()
-	hits := make([]uint64, len(gaps))
-	total := make([]uint64, len(gaps))
-	for _, ta := range results {
-		for i := range gaps {
-			hits[i] += ta.hits[i]
-			total[i] += ta.total[i]
-		}
-	}
+
 	res := Result{
 		ID:      "§4.2",
 		Title:   "Mantin ABSAB coincidence probability by gap",
@@ -96,9 +89,9 @@ func ABSABGapVerification(master [16]byte, keys, blocks int, gaps []int, workers
 		Notes:   "all gaps should trend positive; the relative bias decays as e^{-8g/256}",
 	}
 	for gi, g := range gaps {
-		meas := float64(hits[gi]) / float64(total[gi])
+		meas := float64(tot.hits[gi]) / float64(tot.total[gi])
 		var z float64
-		if r, err := stats.ProportionTest(hits[gi], total[gi], biases.UPair); err == nil {
+		if r, err := stats.ProportionTest(tot.hits[gi], tot.total[gi], biases.UPair); err == nil {
 			z = r.Statistic
 		}
 		res.Rows = append(res.Rows, Row{
@@ -109,6 +102,37 @@ func ABSABGapVerification(master [16]byte, keys, blocks int, gaps []int, workers
 	return res, nil
 }
 
+// eqTally counts position-equality events within 256-byte blocks for the
+// eq. 9 scan.
+type eqTally struct {
+	pairs [][2]int
+	hits  []uint64
+	total uint64
+}
+
+func (t *eqTally) Window(win []byte) {
+	// win[j] = Z_{256w + j + 1}; offsets in pairs are relative to the
+	// block start (offset 0 = Z_{256w+1}).
+	for pi, p := range t.pairs {
+		if win[p[0]] == win[p[1]] {
+			t.hits[pi]++
+		}
+	}
+	t.total++
+}
+
+func (t *eqTally) Merge(other dataset.Sink) error {
+	o, ok := other.(*eqTally)
+	if !ok || len(o.hits) != len(t.hits) {
+		return errIncompatibleTally
+	}
+	for i := range t.hits {
+		t.hits[i] += o.hits[i]
+	}
+	t.total += o.total
+	return nil
+}
+
 // Equation9Search looks for the eq. 9 long-term equality biases
 // Pr[Z_{256w+a} = Z_{256w+b}] ≈ 2^-8 (1 ± 2^-16): it measures the equality
 // probability for a sample of (a, b) offsets within 256-byte blocks far
@@ -116,63 +140,23 @@ func ABSABGapVerification(master [16]byte, keys, blocks int, gaps []int, workers
 // below laptop-scale resolution — the paper itself calls reliably detecting
 // them an open direction — so the driver reports the measured probabilities
 // with their z statistics, demonstrating the methodology.
-func Equation9Search(master [16]byte, keys, blocks int, pairs [][2]int, workers int) (Result, error) {
+func Equation9Search(ctx context.Context, master [16]byte, keys, blocks int, pairs [][2]int, workers int) (Result, error) {
 	if len(pairs) == 0 {
 		pairs = [][2]int{{0, 2}, {0, 16}, {1, 129}, {5, 250}}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > keys {
-		workers = keys
-	}
-	type tally struct {
-		hits  []uint64
-		total uint64
-	}
-	results := make([]tally, workers)
-	var wg sync.WaitGroup
-	per := keys / workers
-	extra := keys % workers
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
+	tot := &eqTally{pairs: pairs, hits: make([]uint64, len(pairs))}
+	if keys > 0 && blocks > 0 {
+		shards := dataset.SplitKeys(uint64(keys), workers, eq9LaneOffset)
+		sink, err := dataset.Engine{Workers: workers}.Run(ctx, dataset.Stream{
+			// Skip 1024 so each block starts at Z_{256w+1}.
+			Master: master, Skip: 1024, BlockLen: 256, Blocks: blocks,
+		}, shards, func(int) dataset.Sink {
+			return &eqTally{pairs: pairs, hits: make([]uint64, len(pairs))}
+		})
+		if err != nil {
+			return Result{}, err
 		}
-		results[w] = tally{hits: make([]uint64, len(pairs))}
-		wg.Add(1)
-		go func(w int, lane uint64, n int) {
-			defer wg.Done()
-			ta := &results[w]
-			src := dataset.NewKeySource(master, lane)
-			key := make([]byte, 16)
-			buf := make([]byte, 256)
-			for k := 0; k < n; k++ {
-				src.NextKey(key)
-				c := rc4.MustNew(key)
-				c.Skip(1024) // next byte is Z_1025 = Z_{256w+1} with offset 1
-				for b := 0; b < blocks; b++ {
-					c.Keystream(buf)
-					// buf[j] = Z_{256w + j + 1}; offsets in pairs are
-					// relative to the block start (offset 0 = Z_{256w+1}).
-					for pi, p := range pairs {
-						if buf[p[0]] == buf[p[1]] {
-							ta.hits[pi]++
-						}
-					}
-					ta.total++
-				}
-			}
-		}(w, uint64(w)+5000, n)
-	}
-	wg.Wait()
-	hits := make([]uint64, len(pairs))
-	var total uint64
-	for _, ta := range results {
-		for i := range pairs {
-			hits[i] += ta.hits[i]
-		}
-		total += ta.total
+		tot = sink.(*eqTally)
 	}
 	res := Result{
 		ID:      "Eq. 9",
@@ -181,9 +165,9 @@ func Equation9Search(master [16]byte, keys, blocks int, pairs [][2]int, workers 
 		Notes:   "relative biases here are ±2^-16 — resolving them needs ~2^40 blocks; this driver demonstrates the measurement the paper leaves as future work",
 	}
 	for pi, p := range pairs {
-		meas := float64(hits[pi]) / float64(total)
+		meas := float64(tot.hits[pi]) / float64(tot.total)
 		var z float64
-		if r, err := stats.ProportionTest(hits[pi], total, biases.USingle); err == nil {
+		if r, err := stats.ProportionTest(tot.hits[pi], tot.total, biases.USingle); err == nil {
 			z = r.Statistic
 		}
 		res.Rows = append(res.Rows, Row{

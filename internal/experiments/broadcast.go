@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"rc4break/internal/dataset"
 	"rc4break/internal/rc4"
 	"rc4break/internal/recovery"
@@ -18,12 +20,12 @@ import (
 //
 // This runs in exact mode end to end: both training and attack use the
 // real cipher.
-func BroadcastAttack(trainKeys, ciphertexts uint64, positions int, workers int) (Result, error) {
+func BroadcastAttack(ctx context.Context, trainKeys, ciphertexts uint64, positions int, workers int) (Result, error) {
 	if positions <= 0 {
 		positions = 32
 	}
 	// Train single-byte distributions.
-	obs, err := dataset.Run(dataset.Config{Keys: trainKeys, Workers: workers, Master: [16]byte{0x7a}},
+	obs, err := dataset.Run(dataset.Config{Keys: trainKeys, Workers: workers, Master: [16]byte{0x7a}, Ctx: ctx},
 		func() dataset.Observer { return dataset.NewSingleByteCounts(positions) })
 	if err != nil {
 		return Result{}, err
@@ -42,6 +44,11 @@ func BroadcastAttack(trainKeys, ciphertexts uint64, positions int, workers int) 
 	key := make([]byte, 16)
 	ct := make([]byte, positions)
 	for n := uint64(0); n < ciphertexts; n++ {
+		if n%4096 == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		src.NextKey(key)
 		rc4.MustNew(key).XORKeyStream(ct, plaintext)
 		for r := 0; r < positions; r++ {

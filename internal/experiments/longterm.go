@@ -1,13 +1,20 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"rc4break/internal/biases"
 	"rc4break/internal/dataset"
-	"rc4break/internal/rc4"
 	"rc4break/internal/stats"
+)
+
+// Lane offsets for the experiments package's long-term scans, disjoint from
+// the dataset package's own lane spaces and preserved from the pre-engine
+// loops so the datasets stay bitwise-reproducible.
+const (
+	zeroPairLaneOffset = 3000
+	absabLaneOffset    = 4000
+	eq9LaneOffset      = 5000
 )
 
 // Table1 verifies the generalized Fluhrer–McGrew digraph biases in the
@@ -17,7 +24,7 @@ import (
 // 2^-7/2^-8, so resolving every family at 3σ needs ~2^35+ digraphs; the
 // default laptop scale resolves the aggregate and the strongest families,
 // with the rest reported alongside their statistical error.
-func Table1(master [16]byte, keys, blocks, workers int) (Result, error) {
+func Table1(ctx context.Context, master [16]byte, keys, blocks, workers int) (Result, error) {
 	type family struct {
 		name  string
 		cell  dataset.LongTermCell
@@ -41,7 +48,10 @@ func Table1(master [16]byte, keys, blocks, workers int) (Result, error) {
 	for i, f := range families {
 		cells[i] = f.cell
 	}
-	tt := dataset.CollectLongTermTargeted(master, keys, blocks, workers, cells)
+	tt, err := dataset.CollectLongTermTargeted(ctx, master, keys, blocks, workers, cells)
+	if err != nil {
+		return Result{}, err
+	}
 
 	res := Result{
 		ID:      "Table 1",
@@ -80,11 +90,11 @@ func Table1(master [16]byte, keys, blocks, workers int) (Result, error) {
 // expected probability, for the digraph families the paper plots. Output
 // rows are positions; columns the families; values -log2|q| (the paper's
 // y-axis scale, smaller = stronger).
-func Figure4(keys uint64, workers, positions int) (Result, error) {
+func Figure4(ctx context.Context, keys uint64, workers, positions int) (Result, error) {
 	if positions <= 0 {
 		positions = 96
 	}
-	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers},
+	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers, Ctx: ctx},
 		func() dataset.Observer { return dataset.NewDigraphCounts(positions) })
 	if err != nil {
 		return Result{}, err
@@ -130,70 +140,56 @@ func Figure4(keys uint64, workers, positions int) (Result, error) {
 	return res, nil
 }
 
+// zeroPairCounts tallies the eq. 8 cells over one 256-byte block per window:
+// win[0] is Z at a position that is a multiple of 256 and win[2] the byte
+// two later.
+type zeroPairCounts struct {
+	zero, one28, control, total uint64
+}
+
+func (z *zeroPairCounts) Window(win []byte) {
+	if win[2] == 0 {
+		switch win[0] {
+		case 0:
+			z.zero++
+		case 128:
+			z.one28++
+		case 64:
+			z.control++
+		}
+	}
+	z.total++
+}
+
+func (z *zeroPairCounts) Merge(other dataset.Sink) error {
+	o, ok := other.(*zeroPairCounts)
+	if !ok {
+		return errIncompatibleTally
+	}
+	z.zero += o.zero
+	z.one28 += o.one28
+	z.control += o.control
+	z.total += o.total
+	return nil
+}
+
 // LongTermZeroPairs verifies Sen Gupta's (Z_{256w}, Z_{256w+2}) = (0,0)
 // bias and the paper's new (128,0) companion (eq. 8): both have probability
 // 2^-16 (1 + 2^-8) at positions that are multiples of 256. A control cell
 // (64,0) is reported for comparison; it should sit at the uniform 2^-16.
-func LongTermZeroPairs(master [16]byte, keys, blocks, workers int) (Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > keys {
-		workers = keys
-	}
-	// Dedicated counter: pairs (Z_r, Z_r+2) at r ≡ 0 mod 256, r >= 1024.
-	type counts struct {
-		zero, one28, control, total uint64
-	}
-	results := make([]counts, workers)
-	var wg sync.WaitGroup
-	per := keys / workers
-	extra := keys % workers
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
+func LongTermZeroPairs(ctx context.Context, master [16]byte, keys, blocks, workers int) (Result, error) {
+	// Skip 1279 bytes so each window starts at a multiple of 256 (the
+	// first window's win[0] is Z_1280).
+	tot := &zeroPairCounts{}
+	if keys > 0 && blocks > 0 {
+		shards := dataset.SplitKeys(uint64(keys), workers, zeroPairLaneOffset)
+		sink, err := dataset.Engine{Workers: workers}.Run(ctx, dataset.Stream{
+			Master: master, Skip: 1279, BlockLen: 256, Blocks: blocks,
+		}, shards, func(int) dataset.Sink { return &zeroPairCounts{} })
+		if err != nil {
+			return Result{}, err
 		}
-		wg.Add(1)
-		go func(w int, lane uint64, n int) {
-			defer wg.Done()
-			src := dataset.NewKeySource(master, lane)
-			key := make([]byte, 16)
-			buf := make([]byte, 259)
-			var c counts
-			for k := 0; k < n; k++ {
-				src.NextKey(key)
-				ci := rc4.MustNew(key)
-				// Position ourselves so buf[0] = Z_{1280} (multiple of 256):
-				// skip 1279 bytes.
-				ci.Skip(1279)
-				for b := 0; b < blocks; b++ {
-					ci.Keystream(buf[:3])
-					// buf[0] = Z_{256w}, buf[2] = Z_{256w+2}.
-					if buf[2] == 0 {
-						switch buf[0] {
-						case 0:
-							c.zero++
-						case 128:
-							c.one28++
-						case 64:
-							c.control++
-						}
-					}
-					c.total++
-					ci.Skip(253)
-				}
-			}
-			results[w] = c
-		}(w, uint64(w)+3000, n)
-	}
-	wg.Wait()
-	var tot counts
-	for _, c := range results {
-		tot.zero += c.zero
-		tot.one28 += c.one28
-		tot.control += c.control
-		tot.total += c.total
+		tot = sink.(*zeroPairCounts)
 	}
 	res := Result{
 		ID:      "Eq. 8",

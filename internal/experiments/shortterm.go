@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"rc4break/internal/biases"
@@ -13,7 +14,7 @@ import (
 // measured probability against the paper's value. The paper used 2^44–2^45
 // keys; sign agreement and magnitude ordering are the reproducible shape at
 // laptop scale.
-func Table2(keys uint64, workers int) (Result, error) {
+func Table2(ctx context.Context, keys uint64, workers int) (Result, error) {
 	all := append(append([]biases.PairBias{}, biases.ConsecutiveKeyLengthBiases...),
 		biases.NonConsecutiveBiases...)
 	cells := make([]dataset.PairCell, len(all))
@@ -24,7 +25,7 @@ func Table2(keys uint64, workers int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers},
+	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers, Ctx: ctx},
 		func() dataset.Observer {
 			t, _ := dataset.NewTargetedPairs(cells)
 			return t
@@ -74,13 +75,13 @@ func itoa(n int) string {
 // Equalities reproduces eqs. 3–5: Pr[Z1=Z3], Pr[Z1=Z4], Pr[Z2=Z4].
 // The relative biases are 2^-8.59..2^-9.62, resolvable at ~2^30 keys; at
 // smaller scales the z column shows the direction of the evidence.
-func Equalities(keys uint64, workers int) (Result, error) {
+func Equalities(ctx context.Context, keys uint64, workers int) (Result, error) {
 	as := make([]int, len(biases.EqualityBiases))
 	bs := make([]int, len(biases.EqualityBiases))
 	for i, e := range biases.EqualityBiases {
 		as[i], bs[i] = e.A, e.B
 	}
-	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers},
+	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers, Ctx: ctx},
 		func() dataset.Observer {
 			e, _ := dataset.NewEqualityCounts(as, bs)
 			return e
@@ -112,7 +113,7 @@ func Equalities(keys uint64, workers int) (Result, error) {
 // sample of target positions i, reporting the relative bias q of each pair
 // against its single-byte-expected probability (the paper's y-axis).
 // Positive q for families 1/2/4, negative for 3/5/6, is the shape.
-func Figure5(keys uint64, workers int, positions []int) (Result, error) {
+func Figure5(ctx context.Context, keys uint64, workers int, positions []int) (Result, error) {
 	if len(positions) == 0 {
 		positions = []int{16, 32, 64, 96, 128, 160, 192, 224, 256}
 	}
@@ -128,7 +129,7 @@ func Figure5(keys uint64, workers int, positions []int) (Result, error) {
 		}
 	}
 	maxPos := positions[len(positions)-1]
-	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers},
+	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers, Ctx: ctx},
 		func() dataset.Observer {
 			m := &dataset.Multi{}
 			t, _ := dataset.NewTargetedPairs(cells)
@@ -167,9 +168,9 @@ func Figure5(keys uint64, workers int, positions []int) (Result, error) {
 // key-length biases Z_{256+16k} toward 32k (k = 1..7) plus the positions
 // the paper plots (272, 304, 336, 368). Reported: Pr[Z_pos = 32k]·256 and
 // the chi-squared p-value for uniformity of the position.
-func Figure6(keys uint64, workers int) (Result, error) {
+func Figure6(ctx context.Context, keys uint64, workers int) (Result, error) {
 	const maxPos = 368
-	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers},
+	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers, Ctx: ctx},
 		func() dataset.Observer { return dataset.NewSingleByteCounts(maxPos) })
 	if err != nil {
 		return Result{}, err
@@ -199,12 +200,12 @@ func Figure6(keys uint64, workers int) (Result, error) {
 // ConsecutiveEq2 verifies the eq. 2 family (Table 2's consecutive rows)
 // with direct targeted counting, reporting measured versus paper values of
 // Pr[Z_{16w-1} = Z_{16w} = 256-16w].
-func ConsecutiveEq2(keys uint64, workers int) (Result, error) {
+func ConsecutiveEq2(ctx context.Context, keys uint64, workers int) (Result, error) {
 	var cells []dataset.PairCell
 	for _, b := range biases.ConsecutiveKeyLengthBiases {
 		cells = append(cells, dataset.PairCell{A: b.A, B: b.B, X: b.X, Y: b.Y})
 	}
-	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers},
+	obs, err := dataset.Run(dataset.Config{Keys: keys, Workers: workers, Ctx: ctx},
 		func() dataset.Observer {
 			t, _ := dataset.NewTargetedPairs(cells)
 			return t

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -31,6 +32,8 @@ type TKIPParams struct {
 	MaxDepth int
 	Seed     int64
 	Workers  int
+	// Ctx, when non-nil, cancels model training early (trained-model mode).
+	Ctx context.Context
 }
 
 // DefaultBiasStrength is the synthetic per-TSC bias RMS calibrated so the
@@ -77,6 +80,7 @@ func Figures8and9(p TKIPParams) (Result, error) {
 			Positions:  positions[len(positions)-1],
 			KeysPerTSC: p.KeysPerTSC,
 			Workers:    p.Workers,
+			Ctx:        p.Ctx,
 		})
 		if err != nil {
 			return Result{}, err
@@ -167,12 +171,13 @@ func median(xs []int) float64 {
 // 7-byte TCP payload. Bias strength per position is measured from the
 // trained model as the mean L2 distance between per-class distributions and
 // the position's global distribution.
-func PayloadPlacement(keysPerTSC uint64, workers int) (Result, error) {
+func PayloadPlacement(ctx context.Context, keysPerTSC uint64, workers int) (Result, error) {
 	maxPos := packet.HeaderSize + 7 + tkip.TrailerSize // 67
 	model, err := tkip.Train(tkip.TrainConfig{
 		Positions:  maxPos,
 		KeysPerTSC: keysPerTSC,
 		Workers:    workers,
+		Ctx:        ctx,
 	})
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,187 @@
+package rc4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// scalarKeystream is the pre-batching reference PRGA: one round per loop
+// iteration, re-reading S[i] and S[j] after the swap. The batched Keystream
+// and SkipKeystream must match it byte for byte; the benchmarks below
+// measure the speedup against it.
+func scalarKeystream(c *Cipher, dst []byte) {
+	i, j := c.i, c.j
+	s := &c.s
+	for n := range dst {
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+		dst[n] = s[uint8(s[i]+s[j])]
+	}
+	c.i, c.j = i, j
+}
+
+// scalarSkip is the pre-batching reference skip loop.
+func scalarSkip(c *Cipher, n int) {
+	i, j := c.i, c.j
+	s := &c.s
+	for ; n > 0; n-- {
+		i++
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+	}
+	c.i, c.j = i, j
+}
+
+func testKey(kl int) []byte {
+	key := make([]byte, kl)
+	for n := range key {
+		key[n] = byte(7*n + 3*kl + 1)
+	}
+	return key
+}
+
+// TestKeystreamMatchesScalar pins the batched PRGA against the scalar
+// reference across key lengths and buffer sizes, including 0, 1, and sizes
+// that are not multiples of the 8-round unroll, and across repeated calls so
+// the carried i/j state is exercised at every alignment.
+func TestKeystreamMatchesScalar(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 257, 1000, 1024}
+	for _, kl := range []int{1, 2, 5, 13, 16, 32, 256} {
+		key := testKey(kl)
+		a := MustNew(key)
+		b := MustNew(key)
+		for _, size := range sizes {
+			got := make([]byte, size)
+			want := make([]byte, size)
+			a.Keystream(got)
+			scalarKeystream(b, want)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("key len %d size %d: batched diverged from scalar", kl, size)
+			}
+			ai, aj := a.i, a.j
+			if ai != b.i || aj != b.j {
+				t.Fatalf("key len %d size %d: state diverged (i %d/%d, j %d/%d)", kl, size, ai, b.i, aj, b.j)
+			}
+		}
+	}
+}
+
+// TestSkipMatchesScalar pins the unrolled Skip against the scalar reference
+// across skip amounts including 0 and non-multiples of 8.
+func TestSkipMatchesScalar(t *testing.T) {
+	for _, kl := range []int{1, 5, 16, 40} {
+		key := testKey(kl)
+		for _, skip := range []int{0, 1, 3, 7, 8, 9, 12, 255, 256, 1023, 1024, 4097} {
+			a := MustNew(key)
+			b := MustNew(key)
+			a.Skip(skip)
+			scalarSkip(b, skip)
+			ga, gb := make([]byte, 64), make([]byte, 64)
+			a.Keystream(ga)
+			scalarKeystream(b, gb)
+			if !bytes.Equal(ga, gb) {
+				t.Fatalf("key len %d skip %d: diverged", kl, skip)
+			}
+		}
+	}
+}
+
+// TestSkipKeystreamMatchesScalar pins the fused skip+generate call against
+// separate scalar Skip and Keystream across skips and buffer sizes.
+func TestSkipKeystreamMatchesScalar(t *testing.T) {
+	for _, kl := range []int{1, 16, 256} {
+		key := testKey(kl)
+		for _, skip := range []int{0, 1, 7, 8, 9, 100, 1023, 1279} {
+			for _, size := range []int{0, 1, 7, 8, 9, 96, 257} {
+				a := MustNew(key)
+				b := MustNew(key)
+				got := make([]byte, size)
+				want := make([]byte, size)
+				a.SkipKeystream(skip, got)
+				scalarSkip(b, skip)
+				scalarKeystream(b, want)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("key len %d skip %d size %d: fused diverged", kl, skip, size)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipKeystreamNegativeSkip checks the defensive no-op for skip <= 0,
+// matching Skip's historical behavior.
+func TestSkipKeystreamNegativeSkip(t *testing.T) {
+	a := MustNew(testKey(16))
+	b := MustNew(testKey(16))
+	got, want := make([]byte, 32), make([]byte, 32)
+	a.SkipKeystream(-5, got)
+	b.Keystream(want)
+	if !bytes.Equal(got, want) {
+		t.Fatal("negative skip did not behave as zero")
+	}
+}
+
+// TestRekeyMatchesNew checks that Rekey on a dirty cipher equals a fresh New.
+func TestRekeyMatchesNew(t *testing.T) {
+	var c Cipher
+	if err := c.Rekey(testKey(16)); err != nil {
+		t.Fatal(err)
+	}
+	c.Skip(999) // dirty the state
+	key2 := testKey(24)
+	if err := c.Rekey(key2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNew(key2)
+	got, want := make([]byte, 300), make([]byte, 300)
+	c.Keystream(got)
+	fresh.Keystream(want)
+	if !bytes.Equal(got, want) {
+		t.Fatal("Rekey diverged from New")
+	}
+	if err := c.Rekey(nil); err == nil {
+		t.Error("Rekey accepted empty key")
+	}
+	if err := c.Rekey(make([]byte, 257)); err == nil {
+		t.Error("Rekey accepted oversized key")
+	}
+}
+
+func BenchmarkKeystreamScalar1K(b *testing.B) {
+	c := MustNew([]byte("sixteen byte key"))
+	buf := make([]byte, 1024)
+	b.SetBytes(1024)
+	for n := 0; n < b.N; n++ {
+		scalarKeystream(c, buf)
+	}
+}
+
+func BenchmarkSkip1K(b *testing.B) {
+	c := MustNew([]byte("sixteen byte key"))
+	b.SetBytes(1024)
+	for n := 0; n < b.N; n++ {
+		c.Skip(1024)
+	}
+}
+
+func BenchmarkSkipKeystream(b *testing.B) {
+	// The engine's per-key long-term pattern: 1023-byte drop + 257-byte
+	// first window.
+	c := MustNew([]byte("sixteen byte key"))
+	buf := make([]byte, 257)
+	b.SetBytes(1023 + 257)
+	for n := 0; n < b.N; n++ {
+		c.SkipKeystream(1023, buf)
+	}
+}
+
+func BenchmarkRekey(b *testing.B) {
+	key := []byte("sixteen byte key")
+	var c Cipher
+	for n := 0; n < b.N; n++ {
+		if err := c.Rekey(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -60,6 +60,17 @@ func MustNew(key []byte) *Cipher {
 	return c
 }
 
+// Rekey re-runs the KSA on an existing cipher value, making it equivalent to
+// a freshly constructed New(key). The generation engine re-keys one Cipher
+// per worker millions of times, so avoiding the per-key allocation matters.
+func (c *Cipher) Rekey(key []byte) error {
+	if len(key) < MinKeyLen || len(key) > MaxKeyLen {
+		return KeySizeError(len(key))
+	}
+	c.ksa(key)
+	return nil
+}
+
 // NewFromState builds a cipher with an explicit internal state. It is used
 // by tests and by analyses that model RC4 mid-stream (e.g. checking the
 // Fluhrer–McGrew digraph model, which assumes a uniformly random internal
@@ -69,15 +80,24 @@ func NewFromState(s [StateSize]byte, i, j uint8) *Cipher {
 	return &Cipher{s: s, i: i, j: j}
 }
 
-// ksa runs the Key Scheduling Algorithm.
+// ksa runs the Key Scheduling Algorithm. The key is first tiled into a
+// 256-byte buffer so the mixing loop indexes it linearly — no n%len(key)
+// division on the hot path, which is measurable at engine scale where every
+// generated keystream pays one KSA.
 func (c *Cipher) ksa(key []byte) {
+	s := &c.s
 	for n := 0; n < StateSize; n++ {
-		c.s[n] = byte(n)
+		s[n] = byte(n)
+	}
+	var kbuf [StateSize]byte
+	for n := 0; n < StateSize; n += len(key) {
+		copy(kbuf[n:], key)
 	}
 	var j uint8
 	for n := 0; n < StateSize; n++ {
-		j += c.s[n] + key[n%len(key)]
-		c.s[n], c.s[j] = c.s[j], c.s[n]
+		x := s[n]
+		j += x + kbuf[n]
+		s[n], s[j] = s[j], x
 	}
 	c.i, c.j = 0, 0
 }
@@ -90,18 +110,14 @@ func (c *Cipher) Next() byte {
 	return c.s[uint8(c.s[c.i]+c.s[c.j])]
 }
 
-// Keystream fills dst with the next len(dst) keystream bytes. It is the
-// hot path for dataset generation, so the state is kept in locals.
+// Keystream fills dst with the next len(dst) keystream bytes. It is the hot
+// path for dataset generation and runs the batched PRGA of SkipKeystream:
+// 8 unrolled rounds per iteration with i, j and the swapped values in
+// registers, plus a speculative preload of the next S[i+1] issued before the
+// swap stores. Output is byte-for-byte identical to the one-round-at-a-time
+// PRGA for every buffer length; see TestKeystreamMatchesScalar.
 func (c *Cipher) Keystream(dst []byte) {
-	i, j := c.i, c.j
-	s := &c.s
-	for n := range dst {
-		i++
-		j += s[i]
-		s[i], s[j] = s[j], s[i]
-		dst[n] = s[uint8(s[i]+s[j])]
-	}
-	c.i, c.j = i, j
+	c.SkipKeystream(0, dst)
 }
 
 // XORKeyStream sets dst[n] = src[n] XOR keystream. dst and src must overlap
@@ -114,25 +130,241 @@ func (c *Cipher) XORKeyStream(dst, src []byte) {
 	s := &c.s
 	for n, v := range src {
 		i++
-		j += s[i]
-		s[i], s[j] = s[j], s[i]
-		dst[n] = v ^ s[uint8(s[i]+s[j])]
+		x := s[i]
+		j += x
+		y := s[j]
+		s[i], s[j] = y, x
+		dst[n] = v ^ s[uint8(x+y)]
 	}
 	c.i, c.j = i, j
 }
 
 // Skip advances the keystream by n bytes without producing output.
 // Mironov's recommendation to drop the initial 12*256 bytes, and the
-// long-term dataset's 1023-byte drop, are implemented with Skip.
+// long-term dataset's 1023-byte drop, are implemented with Skip. Skips of
+// n <= 0 are no-ops.
 func (c *Cipher) Skip(n int) {
+	c.SkipKeystream(n, nil)
+}
+
+// SkipKeystream advances the keystream by skip bytes and then fills dst, in
+// one call; Skip and Keystream are its special cases. The generation engine
+// issues exactly one of these per key (the drop-N followed by the first
+// delivered window), so fusing the two phases keeps i, j and the speculated
+// S[i+1] in registers across the whole per-key pass. A skip round is a
+// generate round minus the output byte: the speculative preload of the next
+// S[i+1] before the swap stores (patched on the rare j == i+1 alias) takes
+// the S[i] load latency off the serial j-dependency chain in both loops.
+// A skip <= 0 drops nothing.
+func (c *Cipher) SkipKeystream(skip int, dst []byte) {
+	if skip <= 0 && len(dst) == 0 {
+		return
+	}
 	i, j := c.i, c.j
 	s := &c.s
-	for ; n > 0; n-- {
+	i++
+	x := s[i]
+	var y, x2 byte
+	for ; skip >= 8; skip -= 8 {
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
 		i++
-		j += s[i]
-		s[i], s[j] = s[j], s[i]
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
 	}
-	c.i, c.j = i, j
+	for ; skip > 0; skip-- {
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		i++
+		x = x2
+	}
+	n := 0
+	for ; n+8 <= len(dst); n += 8 {
+		d := dst[n : n+8 : n+8]
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[0] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[1] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[2] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[3] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[4] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[5] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[6] = s[uint8(x+y)]
+		i++
+		x = x2
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		d[7] = s[uint8(x+y)]
+		i++
+		x = x2
+	}
+	for ; n < len(dst); n++ {
+		j += x
+		y = s[j]
+		x2 = s[i+1]
+		s[i] = y
+		s[j] = x
+		if j == i+1 {
+			x2 = x
+		}
+		dst[n] = s[uint8(x+y)]
+		i++
+		x = x2
+	}
+	c.i, c.j = i-1, j
 }
 
 // State returns a copy of the permutation and the current i, j indices.

@@ -1,15 +1,13 @@
 package tkip
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"io"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"rc4break/internal/dataset"
-	"rc4break/internal/rc4"
 )
 
 // PerTSCModel holds empirical keystream distributions conditioned on the
@@ -32,20 +30,47 @@ type TrainConfig struct {
 	TSC1       byte   // fixed TSC1 value
 	Workers    int
 	Master     [16]byte
+	// Ctx, when non-nil, cancels training early; pair with
+	// dataset.WithProgress to observe paper-scale runs. nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+// trainLaneOffset keeps the training lane space (one KeySource lane per TSC0
+// class) disjoint from the dataset package's lane offsets. Lanes are a fixed
+// function of the class, so training is deterministic for a fixed master —
+// the pre-engine worker pool seeded lanes by which goroutine happened to
+// grab a class, making every training run irreproducible.
+const trainLaneOffset uint64 = 1 << 32
+
+// classSink counts keystream-byte occurrences for one TSC0 class, writing
+// directly into that class's disjoint region of the shared model. Merging is
+// therefore a no-op.
+type classSink struct {
+	counts    []uint64 // the class's [pos][val] region
+	positions int
+}
+
+func (cs classSink) Window(win []byte) {
+	for r := 0; r < cs.positions; r++ {
+		cs.counts[r*256+int(win[r])]++
+	}
+}
+
+func (cs classSink) Merge(other dataset.Sink) error {
+	if _, ok := other.(classSink); !ok {
+		return errors.New("tkip: incompatible training sink merge")
+	}
+	return nil
 }
 
 // Train estimates per-TSC keystream distributions by generating, for every
 // TSC0 class, KeysPerTSC random keys with the mandated K0..K2 structure.
+// Each class is one engine shard with its own KeySource lane, so the model
+// is deterministic for a fixed master.
 func Train(cfg TrainConfig) (*PerTSCModel, error) {
 	if cfg.Positions <= 0 || cfg.KeysPerTSC == 0 {
 		return nil, errors.New("tkip: positions and keys per TSC must be positive")
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > 256 {
-		workers = 256
 	}
 	m := &PerTSCModel{
 		Positions: cfg.Positions,
@@ -56,34 +81,30 @@ func Train(cfg TrainConfig) (*PerTSCModel, error) {
 	k0 := cfg.TSC1
 	k1 := (cfg.TSC1 | 0x20) & 0x7f
 
-	var wg sync.WaitGroup
-	classCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(lane uint64) {
-			defer wg.Done()
-			key := make([]byte, 16)
-			ks := make([]byte, cfg.Positions)
-			for class := range classCh {
-				src := dataset.NewKeySource(cfg.Master, lane<<32|uint64(class))
-				base := class * cfg.Positions * 256
-				for n := uint64(0); n < cfg.KeysPerTSC; n++ {
-					src.NextKey(key)
-					key[0], key[1], key[2] = k0, k1, byte(class)
-					c := rc4.MustNew(key)
-					c.Keystream(ks)
-					for r := 0; r < cfg.Positions; r++ {
-						m.Counts[base+r*256+int(ks[r])]++
-					}
-				}
-			}
-		}(uint64(w))
+	shards := make([]dataset.Shard, 256)
+	for class := range shards {
+		shards[class] = dataset.Shard{
+			Lane:     trainLaneOffset + uint64(class),
+			FirstKey: uint64(class) * cfg.KeysPerTSC,
+			Keys:     cfg.KeysPerTSC,
+		}
 	}
-	for class := 0; class < 256; class++ {
-		classCh <- class
+	perClass := cfg.Positions * 256
+	_, err := dataset.Engine{Workers: cfg.Workers}.Run(cfg.Ctx, dataset.Stream{
+		Master:   cfg.Master,
+		BlockLen: cfg.Positions,
+		KeyDeriver: func(keyIndex uint64, key []byte) {
+			// The shard layout maps global key indices to classes in
+			// KeysPerTSC-sized runs.
+			class := byte(keyIndex / cfg.KeysPerTSC)
+			key[0], key[1], key[2] = k0, k1, class
+		},
+	}, shards, func(class int) dataset.Sink {
+		return classSink{counts: m.Counts[class*perClass : (class+1)*perClass], positions: cfg.Positions}
+	})
+	if err != nil {
+		return nil, err
 	}
-	close(classCh)
-	wg.Wait()
 	return m, nil
 }
 

@@ -1,0 +1,233 @@
+// Integration tests for the attack-state persistence subsystem: a capture
+// killed mid-collection, resumed from its checkpoint, and merged with an
+// independently-captured shard must be indistinguishable from one
+// uninterrupted run — same evidence bytes, same candidate list.
+package rc4break
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rc4break/internal/cookieattack"
+	"rc4break/internal/httpmodel"
+	"rc4break/internal/netsim"
+	"rc4break/internal/tkip"
+	"rc4break/internal/tlsrec"
+)
+
+// cookieCaptureRig wires one victim connection to one attack instance
+// through the §6.3 scanner, like cmd/cookieattack's exact mode.
+type cookieCaptureRig struct {
+	victim    *netsim.HTTPSVictim
+	collector *tlsrec.CollectRequests
+	attack    *cookieattack.Attack
+}
+
+func newCookieCaptureRig(t *testing.T, secret string, masterSeed int64) *cookieCaptureRig {
+	t.Helper()
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := cookieattack.New(cookieattack.Config{
+		CookieLen:   16,
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := make([]byte, 48)
+	rand.New(rand.NewSource(masterSeed)).Read(master)
+	victim, err := netsim.NewHTTPSVictim(master, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cookieCaptureRig{
+		victim:    victim,
+		collector: &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()},
+		attack:    attack,
+	}
+}
+
+func (rig *cookieCaptureRig) capture(t *testing.T, n uint64) {
+	t.Helper()
+	for i := uint64(0); i < n; i++ {
+		rec := rig.victim.SendRequest()
+		if err := rig.collector.Feed(rec, func(body []byte) {
+			if err := rig.attack.ObserveRecord(body); err != nil {
+				t.Fatal(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func (rig *cookieCaptureRig) fastForward(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		rig.victim.SendRequest()
+	}
+}
+
+func cookieSnapshotBytes(t *testing.T, a *cookieattack.Attack) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCookieCheckpointResumeMergeEquivalence is the §6 distributed-capture
+// acceptance scenario: shard A is killed mid-collection, resumed from its
+// checkpoint, and merged with independently-captured shard B; the pooled
+// evidence must match — bit for bit — a run in which shard A was never
+// interrupted, down to the generated candidate list.
+func TestCookieCheckpointResumeMergeEquivalence(t *testing.T) {
+	const (
+		secret  = "Secur3C00kieVal+"
+		total   = 3000 // shard A records
+		killAt  = 1300 // records captured before the "crash"
+		shardB  = 2000 // independently-seeded shard
+		nearSet = 64   // candidate list depth compared at the end
+	)
+
+	// Uninterrupted reference run of shard A.
+	ref := newCookieCaptureRig(t, secret, 41)
+	ref.capture(t, total)
+
+	// Shard A, killed at killAt: snapshot, forget everything, resume.
+	partial := newCookieCaptureRig(t, secret, 41)
+	partial.capture(t, killAt)
+	checkpoint := cookieSnapshotBytes(t, partial.attack)
+
+	resumedAttack, err := cookieattack.ReadSnapshot(bytes.NewReader(checkpoint))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := newCookieCaptureRig(t, secret, 41)
+	resumed.attack = resumedAttack
+	resumed.fastForward(resumedAttack.Records) // skip past the pre-crash stream
+	resumed.capture(t, total-killAt)
+
+	if !bytes.Equal(cookieSnapshotBytes(t, ref.attack), cookieSnapshotBytes(t, resumed.attack)) {
+		t.Fatal("killed-and-resumed capture differs from uninterrupted run")
+	}
+
+	// Shard B: a different victim connection (independent master seed).
+	other := newCookieCaptureRig(t, secret, 42)
+	other.capture(t, shardB)
+
+	// Merging B into the reference and into the resumed shard must agree.
+	if err := ref.attack.Merge(other.attack); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.attack.Merge(other.attack); err != nil {
+		t.Fatal(err)
+	}
+	if ref.attack.Records != total+shardB {
+		t.Fatalf("pool records = %d", ref.attack.Records)
+	}
+	if !bytes.Equal(cookieSnapshotBytes(t, ref.attack), cookieSnapshotBytes(t, resumed.attack)) {
+		t.Fatal("merged pools differ between uninterrupted and resumed shards")
+	}
+
+	// The deliverable itself — the candidate list — matches entry for entry.
+	refCands, err := ref.attack.Candidates(nearSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCands, err := resumed.attack.Candidates(nearSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refCands) != len(resCands) {
+		t.Fatalf("candidate list lengths differ: %d vs %d", len(refCands), len(resCands))
+	}
+	for i := range refCands {
+		if !bytes.Equal(refCands[i].Plaintext, resCands[i].Plaintext) {
+			t.Fatalf("candidate %d differs between uninterrupted and resumed pools", i)
+		}
+	}
+}
+
+// TestTKIPCheckpointResumeMergeEquivalence is the §5 counterpart: an
+// exact-mode frame capture killed and resumed, then merged with a second
+// shard, must equal the uninterrupted capture bit for bit.
+func TestTKIPCheckpointResumeMergeEquivalence(t *testing.T) {
+	positions := tkip.TrailerPositions(48)
+	model := tkip.SyntheticModel(positions[len(positions)-1], 1.0/512, 3)
+	session := &tkip.Session{
+		TK:     [16]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6},
+		MICKey: [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+		TA:     [6]byte{0xaa, 0xbb, 0xcc, 0x00, 0x11, 0x22},
+		DA:     [6]byte{0x33, 0x44, 0x55, 0x66, 0x77, 0x88},
+		SA:     [6]byte{0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee},
+	}
+
+	capture := func(a *tkip.Attack, v *netsim.WiFiVictim, n uint64) {
+		sniffer := netsim.NewSniffer(v.FrameLen())
+		for i := uint64(0); i < n; i++ {
+			if f := v.Transmit(); sniffer.Filter(f) {
+				a.Observe(f)
+			}
+		}
+	}
+	snap := func(a *tkip.Attack) []byte {
+		var buf bytes.Buffer
+		if err := a.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	newAttack := func() *tkip.Attack {
+		a, err := tkip.NewAttack(model, positions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	const total, killAt = 2600, 1100
+
+	ref := newAttack()
+	capture(ref, netsim.NewWiFiVictim(session, []byte("PAYLOAD")), total)
+
+	partial := newAttack()
+	capture(partial, netsim.NewWiFiVictim(session, []byte("PAYLOAD")), killAt)
+	resumed, err := tkip.ReadAttackSnapshot(bytes.NewReader(snap(partial)), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := netsim.NewWiFiVictim(session, []byte("PAYLOAD"))
+	for i := uint64(0); i < resumed.Frames; i++ { // fast-forward the TSC stream
+		victim.Transmit()
+	}
+	capture(resumed, victim, total-killAt)
+
+	if !bytes.Equal(snap(ref), snap(resumed)) {
+		t.Fatal("killed-and-resumed capture differs from uninterrupted run")
+	}
+
+	// Merge an independently-keyed shard into both; pools must agree.
+	shardSession := &tkip.Session{
+		TK: [16]byte{1: 1, 15: 9}, MICKey: session.MICKey,
+		TA: session.TA, DA: session.DA, SA: session.SA,
+	}
+	shard := newAttack()
+	capture(shard, netsim.NewWiFiVictim(shardSession, []byte("PAYLOAD")), 1500)
+	if err := ref.Merge(shard); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Merge(shard); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Frames != total+1500 || !bytes.Equal(snap(ref), snap(resumed)) {
+		t.Fatal("merged pools differ between uninterrupted and resumed shards")
+	}
+}

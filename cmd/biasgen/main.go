@@ -1,20 +1,45 @@
 // Command biasgen generates RC4 keystream statistics datasets and saves
 // them for later analysis by biastest — the repository's version of the
-// paper's §3.2 distributed worker system.
+// paper's §3.2 distributed worker system, including its operational
+// realities: multi-hour runs are generated in checkpointed chunks that
+// survive a kill, and shards generated on independent machines (disjoint
+// -lanebase ranges or different -seed values) merge into one dataset.
 //
 // Usage:
 //
 //	biasgen -kind single -positions 513 -keys 1048576 -out single.gob
 //	biasgen -kind digraph -positions 64 -keys 1048576 -out consec.gob
+//
+// Checkpointed generation (kill and rerun to resume):
+//
+//	biasgen -kind single -positions 64 -keys 16777216 \
+//	        -checkpoint-every 1048576 -out single.gob -resume
+//
+// Sharded generation across machines, then merge:
+//
+//	biasgen -kind single -positions 64 -keys 8388608 -lanebase 0     -out shard0.gob
+//	biasgen -kind single -positions 64 -keys 8388608 -lanebase 65536 -out shard1.gob
+//	biasgen -merge shard0.gob,shard1.gob -out all.gob
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
+	"rc4break/internal/cliutil"
 	"rc4break/internal/dataset"
 )
+
+// chunkLaneStride spaces the lane ranges of consecutive chunks in the high
+// bits of the lane space, so chunk lanes can never walk into another
+// shard's -lanebase range (lane bases are validated to stay below the
+// stride) and no two chunks ever share an RC4 key sequence.
+const chunkLaneStride = 1 << 40
 
 func main() {
 	kind := flag.String("kind", "single", "dataset kind: single | digraph")
@@ -23,17 +48,26 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "output file (required)")
 	seed := flag.Uint64("seed", 0, "master key seed (first 8 bytes of the AES master)")
+	laneBase := flag.Uint64("lanebase", 0, "key-lane base; give shards on different machines disjoint ranges")
+	every := flag.Uint64("checkpoint-every", 0, "keys per chunk; > 0 writes -out after every chunk so a killed run can resume")
+	resume := flag.Bool("resume", false, "continue a checkpointed run from -out (flags must match the original run)")
+	merge := flag.String("merge", "", "comma-separated dataset files to merge into -out (no generation)")
 	flag.Parse()
 
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "biasgen: -out is required")
 		os.Exit(2)
 	}
+
+	if *merge != "" {
+		mergeDatasets(cliutil.SplitList(*merge), *out)
+		return
+	}
+
 	var master [16]byte
 	for i := 0; i < 8; i++ {
 		master[i] = byte(*seed >> (8 * i))
 	}
-	cfg := dataset.Config{Keys: *keys, Workers: *workers, Master: master}
 
 	var factory func() dataset.Observer
 	switch *kind {
@@ -46,20 +80,194 @@ func main() {
 		os.Exit(2)
 	}
 
-	obs, err := dataset.Run(cfg, factory)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "biasgen:", err)
-		os.Exit(1)
+	// The checkpoint metadata pins every flag the key sequence depends on:
+	// resuming under a different seed, lane base, chunking, or worker
+	// count (dataset.SplitKeys hands each worker its own key lane, so the
+	// key population varies with it — resolve the GOMAXPROCS default to a
+	// concrete count before pinning) would silently mix incompatible key
+	// populations, so it is rejected.
+	resolvedWorkers := *workers
+	if resolvedWorkers <= 0 {
+		resolvedWorkers = runtime.GOMAXPROCS(0)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "biasgen:", err)
-		os.Exit(1)
+	// A chunk occupies lanes [lanebase + chunk·stride, … + workers); the
+	// base AND the worker span must stay inside one stride, or a shard's
+	// lanes would walk into another chunk's range and draw the same keys.
+	// Compared by subtraction so a lane base near 2^64 cannot wrap the sum
+	// past the check.
+	if uint64(resolvedWorkers) >= chunkLaneStride || *laneBase > chunkLaneStride-uint64(resolvedWorkers) {
+		fatal(fmt.Errorf("-lanebase %d + %d workers exceeds the per-chunk lane stride %d; shard bases (spaced at least a worker count apart) must stay below it", *laneBase, resolvedWorkers, uint64(chunkLaneStride)))
 	}
-	defer f.Close()
-	if err := dataset.Save(f, obs); err != nil {
-		fmt.Fprintln(os.Stderr, "biasgen:", err)
-		os.Exit(1)
+	genMeta := map[string]uint64{
+		"seed":             *seed,
+		"lanebase":         *laneBase,
+		"checkpoint-every": *every,
+		"workers":          uint64(resolvedWorkers),
+	}
+
+	// Resume: reload the checkpoint and skip the chunks it already holds.
+	// Chunk lanes are a fixed function of the chunk index, so the resumed
+	// run generates exactly the keys the uninterrupted run would have.
+	var obs dataset.Observer
+	var done uint64
+	if *resume {
+		loaded, meta, err := dataset.LoadFileMeta(*out)
+		if os.IsNotExist(err) {
+			// Bootstrap-friendly: "kill and rerun" keeps one command line,
+			// so a missing checkpoint simply means this is the first run.
+			fmt.Printf("no checkpoint at %s yet; starting fresh\n", *out)
+		} else if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", *out, err))
+		} else {
+			if err := validateResume(loaded, *kind, *positions); err != nil {
+				fatal(err)
+			}
+			if meta == nil {
+				fatal(fmt.Errorf("resume %s: file carries no generation parameters (not a biasgen checkpoint)", *out))
+			}
+			for k, want := range genMeta {
+				got, ok := meta[k]
+				if !ok {
+					fatal(fmt.Errorf("resume %s: checkpoint records no -%s value", *out, k))
+				}
+				if got != want {
+					fatal(fmt.Errorf("resume %s: checkpoint was generated with -%s=%d, flags request %d", *out, k, got, want))
+				}
+			}
+			obs = loaded
+			done = dataset.KeysObserved(loaded)
+			switch {
+			case done >= *keys:
+				fmt.Printf("resume %s: already holds %d keys (target %d); nothing to do\n", *out, done, *keys)
+				return
+			case *every == 0:
+				// An every=0 run drew all its keys from chunk 0; extending it
+				// would re-draw those same lanes and double-count them.
+				fatal(fmt.Errorf("resume %s: run was generated without -checkpoint-every and cannot be extended", *out))
+			case done%*every != 0:
+				fatal(fmt.Errorf("checkpoint holds %d keys, which is not a multiple of -checkpoint-every %d", done, *every))
+			}
+			fmt.Printf("resuming from %s: %d/%d keys done\n", *out, done, *keys)
+		}
+	}
+
+	// Ctrl-C cancels the in-flight chunk; completed chunks are already on
+	// disk, so the run resumes from the last checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	chunkSize := *keys
+	if *every > 0 {
+		chunkSize = *every
+	}
+	for done < *keys {
+		n := chunkSize
+		if remaining := *keys - done; n > remaining {
+			n = remaining
+		}
+		chunk := done / chunkSize
+		chunkObs, err := dataset.Run(dataset.Config{
+			Keys:       n,
+			Workers:    resolvedWorkers,
+			Master:     master,
+			Ctx:        ctx,
+			LaneOffset: *laneBase + chunk*chunkLaneStride,
+		}, factory)
+		if err != nil {
+			if ctx.Err() != nil {
+				switch {
+				case *every > 0 && done > 0:
+					fmt.Fprintf(os.Stderr, "biasgen: interrupted at %d/%d keys; rerun with -resume to continue\n", done, *keys)
+				case *every > 0:
+					fmt.Fprintf(os.Stderr, "biasgen: interrupted before the first chunk completed; nothing checkpointed yet\n")
+				default:
+					fmt.Fprintf(os.Stderr, "biasgen: interrupted at %d/%d keys; no checkpoint written (set -checkpoint-every to make runs resumable)\n", done, *keys)
+				}
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		if obs == nil {
+			obs = chunkObs
+		} else if err := obs.Merge(chunkObs); err != nil {
+			fatal(err)
+		}
+		done += n
+		if *every > 0 {
+			if err := dataset.SaveFileMeta(*out, obs, genMeta); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("checkpoint: %d/%d keys -> %s\n", done, *keys, *out)
+		}
+	}
+
+	// With -checkpoint-every the loop already wrote -out after the final
+	// chunk; only unchunked runs still need their single save.
+	if *every == 0 {
+		if err := dataset.SaveFileMeta(*out, obs, genMeta); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("wrote %s dataset: %d keys x %d positions -> %s\n", *kind, *keys, *positions, *out)
+}
+
+// mergeDatasets combines shard files into one dataset; shapes must match,
+// and shards whose generation parameters show they drew the same key
+// population (identical seed and lane base) are rejected rather than
+// double-counted. Files without metadata (legacy or already-merged) carry
+// no lineage and are merged as-is.
+func mergeDatasets(paths []string, out string) {
+	var merged dataset.Observer
+	var total uint64
+	seen := make(map[[2]uint64]string)
+	for _, p := range paths {
+		obs, meta, err := dataset.LoadFileMeta(p)
+		if err != nil {
+			fatal(fmt.Errorf("merge %s: %w", p, err))
+		}
+		if meta != nil {
+			id := [2]uint64{meta["seed"], meta["lanebase"]}
+			if prev, dup := seen[id]; dup {
+				fatal(fmt.Errorf("merge %s: same seed/lanebase as %s — the shards drew the same keys and would be double-counted", p, prev))
+			}
+			seen[id] = p
+		}
+		if merged == nil {
+			merged = obs
+		} else if err := merged.Merge(obs); err != nil {
+			fatal(fmt.Errorf("merge %s: %w", p, err))
+		}
+		total = dataset.KeysObserved(merged)
+		fmt.Printf("merged %s (%d keys, total %d)\n", p, dataset.KeysObserved(obs), total)
+	}
+	if merged == nil {
+		fatal(fmt.Errorf("no dataset files to merge"))
+	}
+	if err := dataset.SaveFile(out, merged); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote merged dataset: %d keys -> %s\n", total, out)
+}
+
+// validateResume checks that the checkpoint matches the requested dataset
+// shape before any counter is extended.
+func validateResume(obs dataset.Observer, kind string, positions int) error {
+	switch o := obs.(type) {
+	case *dataset.SingleByteCounts:
+		if kind != "single" || o.Positions != positions {
+			return fmt.Errorf("checkpoint is single/%d positions, flags request %s/%d", o.Positions, kind, positions)
+		}
+	case *dataset.DigraphCounts:
+		if kind != "digraph" || o.Positions != positions {
+			return fmt.Errorf("checkpoint is digraph/%d positions, flags request %s/%d", o.Positions, kind, positions)
+		}
+	default:
+		return fmt.Errorf("checkpoint holds %T, which biasgen does not generate", obs)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "biasgen:", err)
+	os.Exit(1)
 }

@@ -5,27 +5,52 @@
 // differentials against the injected known plaintext), generate the cookie
 // candidate list with the charset-restricted list-Viterbi, and brute-force
 // it against the server.
+//
+// Collection is interruptible and distributable, the way the paper's
+// multi-hour captures (§6.3: 52 hours for 9·2^27 requests) have to run in
+// practice:
+//
+//	# a checkpointed exact-mode shard; Ctrl-C flushes the snapshot
+//	cookieattack -mode exact -ciphertexts 4194304 -seed 1 \
+//	             -checkpoint shard1.snap -collect-only
+//	# resume the killed shard from its checkpoint (same flags + -resume)
+//	cookieattack -mode exact -ciphertexts 4194304 -seed 1 \
+//	             -checkpoint shard1.snap -resume shard1.snap -collect-only
+//	# a second, independently-seeded shard
+//	cookieattack -mode model -ciphertexts 4194304 -seed 2 \
+//	             -checkpoint shard2.snap -collect-only
+//	# merge the shards and run the recovery phase on the pooled evidence
+//	cookieattack -ciphertexts 0 -merge shard1.snap,shard2.snap
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"time"
 
+	"rc4break/internal/cliutil"
 	"rc4break/internal/cookieattack"
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/netsim"
+	"rc4break/internal/snapshot"
 	"rc4break/internal/tlsrec"
 )
 
 func main() {
-	ciphertexts := flag.Uint64("ciphertexts", 9<<27, "request copies to collect (paper: 9 x 2^27 for 94%)")
+	ciphertexts := flag.Uint64("ciphertexts", 9<<27, "total request copies this shard should hold, including resumed ones (paper: 9 x 2^27 for 94%)")
 	candidates := flag.Int("candidates", 1<<16, "brute-force list depth (paper: 2^23)")
 	secret := flag.String("secret", "Secur3C00kieVal+", "the 16-character secure cookie to recover")
 	mode := flag.String("mode", "model", "collection mode: model (sampled sufficient statistics) | exact (real TLS records; slow beyond ~2^22)")
-	seed := flag.Int64("seed", 7, "simulation seed")
+	seed := flag.Int64("seed", 1, "simulation seed; give independent shards different seeds")
+	workers := flag.Int("workers", 0, "parallel workers for model-mode collection (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "snapshot file written on completion; exact mode also writes it periodically and on Ctrl-C")
+	checkpointEvery := flag.Uint64("checkpoint-every", 1<<22, "records between periodic checkpoints in exact mode")
+	resume := flag.String("resume", "", "snapshot file to resume this shard's collection from")
+	merge := flag.String("merge", "", "comma-separated shard snapshots to merge into the evidence pool after collection")
+	collectOnly := flag.Bool("collect-only", false, "stop after collection (use with -checkpoint to produce a shard snapshot)")
 	flag.Parse()
 
 	if len(*secret) != 16 {
@@ -49,49 +74,100 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	attack.Workers = *workers
+
+	if *resume != "" {
+		resumed, err := cookieattack.ReadSnapshotFile(*resume)
+		if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", *resume, err))
+		}
+		if resumed.Fingerprint() != attack.Fingerprint() {
+			fatal(fmt.Errorf("resume %s: snapshot was captured against a different request layout (check -secret)", *resume))
+		}
+		resumed.Workers = *workers
+		attack = resumed
+		fmt.Printf("      resumed %s: %d records of evidence\n", *resume, attack.Records)
+	}
+
 	anchors := attack.AnchorsPerPair()
 	fmt.Printf("      ABSAB anchors per pair: %d..%d (paper: 2x129)\n", minInt(anchors), maxInt(anchors))
 
+	var remaining uint64
+	if *ciphertexts > attack.Records {
+		remaining = *ciphertexts - attack.Records
+	}
 	fmt.Printf("[2/4] collecting %d ciphertexts (%s mode; %.1f h of traffic at %d req/s)...\n",
-		*ciphertexts, *mode, float64(*ciphertexts)/netsim.HTTPSRequestsPerSecond/3600,
+		remaining, *mode, float64(remaining)/netsim.HTTPSRequestsPerSecond/3600,
 		netsim.HTTPSRequestsPerSecond)
 	start := time.Now()
-	switch *mode {
-	case "exact":
-		master := make([]byte, 48)
-		rand.New(rand.NewSource(*seed)).Read(master)
-		victim, err := netsim.NewHTTPSVictim(master, req)
-		if err != nil {
-			fatal(err)
+	streamID := snapshot.StreamInfo{Mode: *mode, Seed: *seed}
+	switch {
+	case remaining == 0:
+		fmt.Println("      shard target already reached by resumed evidence")
+	case *mode == "exact":
+		// An exact-mode shard can only be continued on its own cipher
+		// stream: the fast-forward below assumes the snapshot's records
+		// came from exactly this victim.
+		if attack.Records > 0 && attack.Stream != streamID {
+			fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, flags request exact/seed %d",
+				attack.Stream.Mode, attack.Stream.Seed, *seed))
 		}
-		// The victim's records flow through the §6.3 stream scanner, which
-		// reassembles TLS framing and filters the fixed-size requests.
-		collector := &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()}
-		var observeErr error
-		for i := uint64(0); i < *ciphertexts; i++ {
-			rec := victim.SendRequest()
-			if err := collector.Feed(rec, func(body []byte) {
-				if err := attack.ObserveRecord(body); err != nil && observeErr == nil {
-					observeErr = err
-				}
-			}); err != nil {
-				fatal(err)
-			}
-			if observeErr != nil {
-				fatal(observeErr)
-			}
+		attack.Stream = streamID
+		collectExact(attack, req, remaining, *seed, *checkpoint, *checkpointEvery)
+	case *mode == "model":
+		attack.Stream = streamID
+		simSeed := *seed
+		if attack.Records > 0 {
+			// A topped-up shard must not replay the noise draws already
+			// folded into the resumed snapshot (same seed, same sequence):
+			// derive a distinct stream from the continuation point.
+			simSeed = int64(uint64(*seed) ^ uint64(attack.Records)*0x9E3779B97F4A7C15)
 		}
-		fmt.Printf("      scanner matched %d records, dropped %d other\n",
-			collector.Matched, collector.Other)
-	case "model":
-		rng := rand.New(rand.NewSource(*seed))
-		if err := attack.SimulateStatistics(rng, []byte(*secret), *ciphertexts); err != nil {
+		rng := rand.New(rand.NewSource(simSeed))
+		if err := attack.SimulateStatistics(rng, []byte(*secret), remaining); err != nil {
 			fatal(err)
 		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	fmt.Printf("      collected in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("      collected in %v (shard evidence: %d records)\n",
+		time.Since(start).Round(time.Millisecond), attack.Records)
+
+	if *checkpoint != "" {
+		if err := attack.WriteSnapshotFile(*checkpoint); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("      snapshot -> %s\n", *checkpoint)
+	}
+
+	// Shards that captured the same stream (same mode and seed) hold the
+	// same observations; merging them would double-count evidence.
+	seenStreams := make(map[snapshot.StreamInfo]string)
+	if attack.Records > 0 && attack.Stream != (snapshot.StreamInfo{}) {
+		seenStreams[attack.Stream] = "this shard"
+	}
+	for _, path := range cliutil.SplitList(*merge) {
+		shard, err := cookieattack.ReadSnapshotFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("merge %s: %w", path, err))
+		}
+		if shard.Stream != (snapshot.StreamInfo{}) {
+			if prev, dup := seenStreams[shard.Stream]; dup {
+				fatal(fmt.Errorf("merge %s: same capture stream (%s/seed %d) as %s — its records would be double-counted",
+					path, shard.Stream.Mode, shard.Stream.Seed, prev))
+			}
+			seenStreams[shard.Stream] = path
+		}
+		if err := attack.Merge(shard); err != nil {
+			fatal(fmt.Errorf("merge %s: %w", path, err))
+		}
+		fmt.Printf("      merged %s: +%d records (pool now %d)\n", path, shard.Records, attack.Records)
+	}
+
+	if *collectOnly {
+		fmt.Println("      collect-only: skipping recovery phase")
+		return
+	}
 
 	fmt.Printf("[3/4] generating %d cookie candidates (charset-restricted list-Viterbi)...\n", *candidates)
 	server := &netsim.CookieServer{Secret: []byte(*secret)}
@@ -109,6 +185,59 @@ func main() {
 	if string(cookie) == *secret {
 		fmt.Println("      recovered cookie matches the secret — attack complete")
 	}
+}
+
+// collectExact drives the real TLS pipeline: the victim seals requests on a
+// persistent connection, the §6.3 scanner reassembles and filters them, and
+// the attack folds each record in. The loop checkpoints every
+// checkpointEvery records and flushes a final checkpoint on Ctrl-C/SIGTERM,
+// so a killed capture resumes exactly where it stopped: the victim derives
+// its keys from the shard seed and its cipher stream is fast-forwarded past
+// the records the snapshot already holds, making an interrupted-and-resumed
+// run byte-identical to an uninterrupted one.
+func collectExact(attack *cookieattack.Attack, req httpmodel.Request, remaining uint64, seed int64, checkpoint string, checkpointEvery uint64) {
+	master := make([]byte, 48)
+	rand.New(rand.NewSource(seed)).Read(master)
+	victim, err := netsim.NewHTTPSVictim(master, req)
+	if err != nil {
+		fatal(err)
+	}
+	if attack.Records > 0 {
+		fmt.Printf("      fast-forwarding victim stream past %d resumed records...\n", attack.Records)
+		victim.Skip(attack.Records) // raw PRGA skip: no HMAC or record assembly
+	}
+
+	// The victim's records flow through the §6.3 stream scanner, which
+	// reassembles TLS framing and filters the fixed-size requests.
+	collector := &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()}
+	var observeErr error
+	err = cliutil.CheckpointLoop{
+		Iterations: remaining,
+		Path:       checkpoint,
+		Every:      checkpointEvery,
+		Unit:       "records",
+		Save:       func() error { return attack.WriteSnapshotFile(checkpoint) },
+		Progress:   func() uint64 { return attack.Records },
+		Step: func() (bool, error) {
+			rec := victim.SendRequest()
+			if err := collector.Feed(rec, func(body []byte) {
+				if err := attack.ObserveRecord(body); err != nil && observeErr == nil {
+					observeErr = err
+				}
+			}); err != nil {
+				return false, err
+			}
+			return true, observeErr
+		},
+	}.Run()
+	if errors.Is(err, cliutil.ErrInterrupted) {
+		os.Exit(130)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("      scanner matched %d records, dropped %d other\n",
+		collector.Matched, collector.Other)
 }
 
 func minInt(xs []int) int {

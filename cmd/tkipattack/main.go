@@ -4,43 +4,57 @@
 // likelihoods, walk the ICV-pruned candidate list, and recover the Michael
 // MIC key. It then demonstrates the impact by forging a packet the network
 // accepts.
+//
+// Training and capture both persist: the model (the paper's 10-CPU-year
+// artifact) is trained once and reloaded via -model, and captures are
+// checkpointed shards that can be killed, resumed, and merged:
+//
+//	# train once, then capture a checkpointed shard
+//	tkipattack -model tkip.model -copies 4718592 -seed 1 \
+//	           -checkpoint shard1.snap -collect-only
+//	# resume after a kill (same flags + -resume)
+//	tkipattack -model tkip.model -copies 4718592 -seed 1 \
+//	           -checkpoint shard1.snap -resume shard1.snap -collect-only
+//	# second shard, then merge both and run the recovery phase
+//	tkipattack -model tkip.model -copies 4718592 -seed 2 -checkpoint shard2.snap -collect-only
+//	tkipattack -model tkip.model -copies 0 -merge shard1.snap,shard2.snap
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"time"
 
+	"rc4break/internal/cliutil"
 	"rc4break/internal/netsim"
 	"rc4break/internal/packet"
 	"rc4break/internal/rc4"
+	"rc4break/internal/snapshot"
 	"rc4break/internal/tkip"
 )
 
 func main() {
 	keysPerTSC := flag.Uint64("trainkeys", 1<<12, "training keys per TSC class (paper: 2^32)")
-	copies := flag.Uint64("copies", 9<<20, "ciphertext copies to capture (paper: ~9.5 x 2^20 per hour)")
+	copies := flag.Uint64("copies", 9<<20, "total ciphertext copies this shard should hold, including resumed ones (paper: ~9.5 x 2^20 per hour)")
 	maxDepth := flag.Int("maxdepth", 1<<20, "candidate list search bound (paper: nearly 2^30)")
 	mode := flag.String("mode", "model", "capture mode: model (sampled from trained distributions) | exact (real frames; needs deep training)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "simulation seed; give independent shards different seeds")
+	workers := flag.Int("workers", 0, "parallel workers for training and model-mode capture (0 = GOMAXPROCS)")
+	modelPath := flag.String("model", "", "model snapshot: loaded if the file exists, otherwise trained and saved there")
+	checkpoint := flag.String("checkpoint", "", "capture snapshot written on completion; exact mode also writes it periodically and on Ctrl-C")
+	checkpointEvery := flag.Uint64("checkpoint-every", 1<<20, "frames between periodic checkpoints in exact mode")
+	resume := flag.String("resume", "", "capture snapshot to resume this shard from")
+	merge := flag.String("merge", "", "comma-separated shard snapshots to merge into the capture pool after collection")
+	collectOnly := flag.Bool("collect-only", false, "stop after capture (use with -checkpoint to produce a shard snapshot)")
 	flag.Parse()
 
 	msduLen := packet.HeaderSize + 7
 	positions := tkip.TrailerPositions(msduLen)
 
-	fmt.Printf("[1/4] training per-TSC model: %d keys x 256 classes x %d positions...\n",
-		*keysPerTSC, positions[len(positions)-1])
-	start := time.Now()
-	model, err := tkip.Train(tkip.TrainConfig{
-		Positions:  positions[len(positions)-1],
-		KeysPerTSC: *keysPerTSC,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("      trained in %v\n", time.Since(start).Round(time.Millisecond))
+	model := loadOrTrainModel(*modelPath, positions[len(positions)-1], *keysPerTSC, *workers)
 
 	session := &tkip.Session{
 		TK:     [16]byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87, 0x98, 0xa9, 0xba, 0xcb, 0xdc, 0xed, 0xfe, 0x0f},
@@ -54,31 +68,100 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	attack.Workers = *workers
 
-	fmt.Printf("[2/4] capturing %d encryptions of the injected packet (%s mode)...\n", *copies, *mode)
-	start = time.Now()
-	switch *mode {
-	case "exact":
-		sniffer := netsim.NewSniffer(victim.FrameLen())
-		for i := uint64(0); i < *copies; i++ {
-			f := victim.Transmit()
-			if sniffer.Filter(f) {
-				attack.Observe(f)
-			}
+	if *resume != "" {
+		resumed, err := tkip.ReadAttackSnapshotFile(*resume, model)
+		if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", *resume, err))
 		}
-		fmt.Printf("      sniffer captured %d frames, dropped %d\n", sniffer.Captured, sniffer.Dropped)
-	case "model":
+		resumed.Workers = *workers
+		attack = resumed
+		fmt.Printf("      resumed %s: %d captured frames\n", *resume, attack.Frames)
+	}
+
+	var remaining uint64
+	if *copies > attack.Frames {
+		remaining = *copies - attack.Frames
+	}
+	fmt.Printf("[2/4] capturing %d encryptions of the injected packet (%s mode)...\n", remaining, *mode)
+	start := time.Now()
+	streamID := snapshot.StreamInfo{Mode: *mode, Seed: *seed}
+	if *mode == "exact" {
+		// The exact stream is the fixed session's TSC sequence; -seed plays
+		// no part in it, so every exact capture shares one stream identity —
+		// two exact shards would observe identical frames and must not merge.
+		streamID.Seed = 0
+	}
+	switch {
+	case remaining == 0:
+		fmt.Println("      shard target already reached by resumed capture")
+	case *mode == "exact":
+		// An exact-mode shard can only be continued on its own TSC
+		// stream: the fast-forward in collectExact assumes the snapshot's
+		// frames came from exactly this victim.
+		if attack.Frames > 0 && attack.Stream != streamID {
+			fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, flags request exact/seed %d",
+				attack.Stream.Mode, attack.Stream.Seed, *seed))
+		}
+		attack.Stream = streamID
+		collectExact(attack, victim, remaining, *checkpoint, *checkpointEvery)
+	case *mode == "model":
+		attack.Stream = streamID
 		trailer := trueTrailer(session, victim.MSDU)
-		rng := rand.New(rand.NewSource(*seed))
-		if err := attack.SimulateCaptures(rng, trailer, *copies); err != nil {
+		simSeed := *seed
+		if attack.Frames > 0 {
+			// A topped-up shard must not replay the noise draws already
+			// folded into the resumed snapshot (same seed, same sequence):
+			// derive a distinct stream from the continuation point.
+			simSeed = int64(uint64(*seed) ^ uint64(attack.Frames)*0x9E3779B97F4A7C15)
+		}
+		rng := rand.New(rand.NewSource(simSeed))
+		if err := attack.SimulateCaptures(rng, trailer, remaining); err != nil {
 			fatal(err)
 		}
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
-	fmt.Printf("      captured in %v (live air time at %d pps: %.1f h)\n",
-		time.Since(start).Round(time.Millisecond), netsim.TKIPInjectionPerSecond,
-		float64(*copies)/netsim.TKIPInjectionPerSecond/3600)
+	fmt.Printf("      captured in %v (shard frames: %d; live air time at %d pps: %.1f h)\n",
+		time.Since(start).Round(time.Millisecond), attack.Frames, netsim.TKIPInjectionPerSecond,
+		float64(attack.Frames)/netsim.TKIPInjectionPerSecond/3600)
+
+	if *checkpoint != "" {
+		if err := attack.WriteSnapshotFile(*checkpoint); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("      snapshot -> %s\n", *checkpoint)
+	}
+
+	// Shards that captured the same stream (same mode and seed) hold the
+	// same observations; merging them would double-count evidence.
+	seenStreams := make(map[snapshot.StreamInfo]string)
+	if attack.Frames > 0 && attack.Stream != (snapshot.StreamInfo{}) {
+		seenStreams[attack.Stream] = "this shard"
+	}
+	for _, path := range cliutil.SplitList(*merge) {
+		shard, err := tkip.ReadAttackSnapshotFile(path, model)
+		if err != nil {
+			fatal(fmt.Errorf("merge %s: %w", path, err))
+		}
+		if shard.Stream != (snapshot.StreamInfo{}) {
+			if prev, dup := seenStreams[shard.Stream]; dup {
+				fatal(fmt.Errorf("merge %s: same capture stream (%s/seed %d) as %s — its frames would be double-counted",
+					path, shard.Stream.Mode, shard.Stream.Seed, prev))
+			}
+			seenStreams[shard.Stream] = path
+		}
+		if err := attack.Merge(shard); err != nil {
+			fatal(fmt.Errorf("merge %s: %w", path, err))
+		}
+		fmt.Printf("      merged %s: +%d frames (pool now %d)\n", path, shard.Frames, attack.Frames)
+	}
+
+	if *collectOnly {
+		fmt.Println("      collect-only: skipping recovery phase")
+		return
+	}
 
 	fmt.Printf("[3/4] decrypting trailer via ICV-pruned candidate list (depth <= %d)...\n", *maxDepth)
 	start = time.Now()
@@ -103,6 +186,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("      forged packet accepted by the network — attack complete")
+}
+
+// loadOrTrainModel implements the train-once workflow: with -model set and
+// present on disk the model is reloaded (validated by the snapshot
+// envelope's checksum), otherwise it is trained and — when -model is set —
+// persisted for every later shard to share. Shards must share one model:
+// capture snapshots embed its fingerprint and refuse to resume or merge
+// under a different one.
+func loadOrTrainModel(path string, positions int, keysPerTSC uint64, workers int) *tkip.PerTSCModel {
+	if path != "" {
+		model, err := tkip.LoadModelFile(path)
+		switch {
+		case err == nil:
+			if model.Positions < positions {
+				fatal(fmt.Errorf("model %s covers %d positions, attack needs %d", path, model.Positions, positions))
+			}
+			fmt.Printf("[1/4] loaded per-TSC model from %s (%d keys x 256 classes x %d positions)\n",
+				path, model.Keys, model.Positions)
+			return model
+		case !os.IsNotExist(err):
+			// Anything but "absent" must not silently retrain: that would
+			// overwrite the artifact and orphan every shard captured
+			// against it.
+			fatal(fmt.Errorf("load model %s: %w", path, err))
+		}
+	}
+	fmt.Printf("[1/4] training per-TSC model: %d keys x 256 classes x %d positions...\n", keysPerTSC, positions)
+	start := time.Now()
+	model, err := tkip.Train(tkip.TrainConfig{
+		Positions:  positions,
+		KeysPerTSC: keysPerTSC,
+		Workers:    workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("      trained in %v\n", time.Since(start).Round(time.Millisecond))
+	if path != "" {
+		if err := model.SaveFile(path); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("      model -> %s\n", path)
+	}
+	return model
+}
+
+// collectExact captures real frames off the simulated air. The loop
+// checkpoints every checkpointEvery frames and flushes on Ctrl-C/SIGTERM;
+// on resume the victim's TSC sequence is fast-forwarded past the frames the
+// snapshot already holds (each transmission carries a unique TSC, so
+// transmissions == captures), making an interrupted-and-resumed capture
+// identical to an uninterrupted one.
+func collectExact(attack *tkip.Attack, victim *netsim.WiFiVictim, remaining uint64, checkpoint string, checkpointEvery uint64) {
+	if attack.Frames > 0 {
+		fmt.Printf("      fast-forwarding victim past %d resumed frames...\n", attack.Frames)
+		victim.Skip(attack.Frames) // frames are independently keyed by TSC: O(1)
+	}
+
+	sniffer := netsim.NewSniffer(victim.FrameLen())
+	err := cliutil.CheckpointLoop{
+		Iterations: remaining,
+		Path:       checkpoint,
+		Every:      checkpointEvery,
+		Unit:       "frames",
+		Save:       func() error { return attack.WriteSnapshotFile(checkpoint) },
+		Progress:   func() uint64 { return attack.Frames },
+		Step: func() (bool, error) {
+			f := victim.Transmit()
+			if !sniffer.Filter(f) {
+				return false, nil
+			}
+			attack.Observe(f)
+			return true, nil
+		},
+	}.Run()
+	if errors.Is(err, cliutil.ErrInterrupted) {
+		os.Exit(130)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("      sniffer captured %d frames, dropped %d\n", sniffer.Captured, sniffer.Dropped)
 }
 
 // trueTrailer decrypts one encapsulation with the real key to obtain the

@@ -1,0 +1,87 @@
+// Package cliutil holds the small helpers the attack CLIs share, so the
+// three drivers parse their common flags identically and run the same
+// checkpointed-capture loop.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+)
+
+// SplitList parses a comma-separated flag value, trimming whitespace and
+// dropping empty entries (a trailing comma is not an error).
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ErrInterrupted is returned by CheckpointLoop.Run after a SIGINT/SIGTERM
+// flush; drivers exit 130 on it.
+var ErrInterrupted = errors.New("cliutil: capture interrupted")
+
+// CheckpointLoop is the capture-loop scaffolding the exact-mode drivers
+// share: Step runs Iterations times; every time the progress counter
+// advances Every steps past the last write (and Path is set), Save runs;
+// SIGINT/SIGTERM flushes a final Save and returns ErrInterrupted, so a
+// kill loses at most one checkpoint interval.
+type CheckpointLoop struct {
+	Iterations uint64
+	Path       string        // checkpoint file; "" disables writes
+	Every      uint64        // progress steps between periodic writes
+	Unit       string        // progress unit for messages ("records", "frames")
+	Save       func() error  // atomically writes the snapshot to Path
+	Progress   func() uint64 // current progress counter
+	Step       func() (advanced bool, err error)
+}
+
+// Run drives the loop. Status lines match the drivers' indented style.
+func (l CheckpointLoop) Run() error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	var sinceWrite uint64
+	for i := uint64(0); i < l.Iterations; i++ {
+		select {
+		case <-sig:
+			if l.Path == "" {
+				fmt.Printf("      interrupted at %d %s (no -checkpoint set; progress lost)\n", l.Progress(), l.Unit)
+				return ErrInterrupted
+			}
+			if err := l.Save(); err != nil {
+				return err
+			}
+			fmt.Printf("      interrupted: checkpoint flushed at %d %s -> %s (rerun with -resume %s)\n",
+				l.Progress(), l.Unit, l.Path, l.Path)
+			return ErrInterrupted
+		default:
+		}
+		advanced, err := l.Step()
+		if err != nil {
+			return err
+		}
+		if advanced {
+			sinceWrite++
+		}
+		if l.Path != "" && l.Every > 0 && sinceWrite >= l.Every {
+			if err := l.Save(); err != nil {
+				return err
+			}
+			fmt.Printf("      checkpoint: %d %s -> %s\n", l.Progress(), l.Unit, l.Path)
+			sinceWrite = 0
+		}
+	}
+	return nil
+}

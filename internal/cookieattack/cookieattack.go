@@ -16,7 +16,9 @@ import (
 	"math/rand"
 
 	"rc4break/internal/biases"
+	"rc4break/internal/dataset"
 	"rc4break/internal/recovery"
+	"rc4break/internal/snapshot"
 )
 
 // Config describes the attacked request layout.
@@ -55,11 +57,19 @@ type anchor struct {
 // Attack accumulates ciphertext evidence.
 type Attack struct {
 	cfg     Config
+	fp      [16]byte    // config fingerprint: guards Merge and snapshot resume
 	chain   int         // number of pair-likelihood links = CookieLen + 1
 	fm      [][]uint64  // [chain][65536] ciphertext digraph counts
 	absab   [][]float64 // [chain][65536] accumulated ABSAB weights per candidate pair
 	anchors [][]anchor  // per chain link
 	Records uint64
+	// Workers bounds the parallelism of SimulateStatistics; 0 means
+	// GOMAXPROCS. Results are bitwise identical for any value.
+	Workers int
+	// Stream, when set by a capture driver, records which stream the
+	// evidence came from; it rides along in snapshots so an exact-mode
+	// resume against a different stream can be rejected.
+	Stream snapshot.StreamInfo
 }
 
 // New validates the configuration and prepares the evidence accumulators.
@@ -76,8 +86,13 @@ func New(cfg Config) (*Attack, error) {
 	if cfg.CounterBase < 0 || cfg.CounterBase > 255 {
 		return nil, errors.New("cookieattack: counter base must be 0..255")
 	}
+	fp, err := configFingerprint(cfg)
+	if err != nil {
+		return nil, err
+	}
 	a := &Attack{
 		cfg:     cfg,
+		fp:      fp,
 		chain:   cfg.CookieLen + 1,
 		fm:      make([][]uint64, cfg.CookieLen+1),
 		absab:   make([][]float64, cfg.CookieLen+1),
@@ -223,59 +238,78 @@ func (a *Attack) BruteForce(n int, check func([]byte) bool) ([]byte, int, error)
 //     normal approximations, aggregated per cell across anchors.
 //
 // truth is the true cookie value.
+//
+// The chain links are statistically independent, so the simulation fans out
+// over them with the engine's shard/queue pattern: each link draws from its
+// own RNG (seeded up front from rng, in link order) and writes only its own
+// fm/absab tables. The result is bitwise identical for any Workers value —
+// one worker reproduces exactly what sixteen produce.
 func (a *Attack) SimulateStatistics(rng *rand.Rand, truth []byte, nRecords uint64) error {
 	if len(truth) != a.cfg.CookieLen {
 		return errors.New("cookieattack: truth length mismatch")
 	}
-	n := float64(nRecords)
 	chainBytes := make([]byte, a.chain+1)
 	chainBytes[0] = a.cfg.Plaintext[a.cfg.Offset-1]
 	copy(chainBytes[1:], truth)
 	chainBytes[a.chain] = a.cfg.Plaintext[a.cfg.Offset+a.cfg.CookieLen]
 
-	for r := 0; r < a.chain; r++ {
-		i := (a.cfg.CounterBase + r) % 256
-		pt1, pt2 := chainBytes[r], chainBytes[r+1]
-		// FM histogram: cell (c1,c2) sees keystream digraph (c1⊕pt1, c2⊕pt2).
-		dist := biases.FMDistribution(i)
-		hist := a.fm[r]
-		for c1 := 0; c1 < 256; c1++ {
-			z1 := c1 ^ int(pt1)
-			for c2 := 0; c2 < 256; c2++ {
-				mean := n * dist[z1*256+(c2^int(pt2))]
-				v := mean + math.Sqrt(mean)*rng.NormFloat64()
-				if v < 0 {
-					v = 0
-				}
-				hist[c1*256+c2] += uint64(v + 0.5)
-			}
-		}
-		// ABSAB: aggregate hit weight on the true cell, aggregate miss
-		// noise across all cells.
-		var hitW, missMean, missVar float64
-		for _, an := range a.anchors[r] {
-			beta := biases.ABSABCopyProb(an.gap)
-			mean := n * beta
-			hits := mean + math.Sqrt(mean*(1-beta))*rng.NormFloat64()
-			if hits < 0 {
-				hits = 0
-			}
-			hitW += hits * an.w
-			misses := n - hits
-			missMean += an.w * misses / 65536
-			missVar += an.w * an.w * misses / 65536
-		}
-		tbl := a.absab[r]
-		sd := math.Sqrt(missVar)
-		for c := range tbl {
-			v := missMean + sd*rng.NormFloat64()
-			if v < 0 {
-				v = 0
-			}
-			tbl[c] += v
-		}
-		tbl[int(pt1)*256+int(pt2)] += hitW
+	seeds := make([]int64, a.chain)
+	for r := range seeds {
+		seeds[r] = rng.Int63()
+	}
+	err := dataset.ForShards(a.Workers, a.chain, func(r int) error {
+		a.simulateLink(rand.New(rand.NewSource(seeds[r])), r, chainBytes[r], chainBytes[r+1], float64(nRecords))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	a.Records += nRecords
 	return nil
+}
+
+// simulateLink draws the sufficient statistics of one chain link. It only
+// touches link-local state, which is what lets SimulateStatistics run the
+// links concurrently.
+func (a *Attack) simulateLink(rng *rand.Rand, r int, pt1, pt2 byte, n float64) {
+	i := (a.cfg.CounterBase + r) % 256
+	// FM histogram: cell (c1,c2) sees keystream digraph (c1⊕pt1, c2⊕pt2).
+	dist := biases.FMDistribution(i)
+	hist := a.fm[r]
+	for c1 := 0; c1 < 256; c1++ {
+		z1 := c1 ^ int(pt1)
+		for c2 := 0; c2 < 256; c2++ {
+			mean := n * dist[z1*256+(c2^int(pt2))]
+			v := mean + math.Sqrt(mean)*rng.NormFloat64()
+			if v < 0 {
+				v = 0
+			}
+			hist[c1*256+c2] += uint64(v + 0.5)
+		}
+	}
+	// ABSAB: aggregate hit weight on the true cell, aggregate miss
+	// noise across all cells.
+	var hitW, missMean, missVar float64
+	for _, an := range a.anchors[r] {
+		beta := biases.ABSABCopyProb(an.gap)
+		mean := n * beta
+		hits := mean + math.Sqrt(mean*(1-beta))*rng.NormFloat64()
+		if hits < 0 {
+			hits = 0
+		}
+		hitW += hits * an.w
+		misses := n - hits
+		missMean += an.w * misses / 65536
+		missVar += an.w * an.w * misses / 65536
+	}
+	tbl := a.absab[r]
+	sd := math.Sqrt(missVar)
+	for c := range tbl {
+		v := missMean + sd*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		tbl[c] += v
+	}
+	tbl[int(pt1)*256+int(pt2)] += hitW
 }

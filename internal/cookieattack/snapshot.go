@@ -1,0 +1,131 @@
+package cookieattack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rc4break/internal/snapshot"
+)
+
+// SnapshotKind tags cookie-attack evidence snapshots inside the shared
+// envelope format.
+const SnapshotKind = "rc4break.cookieattack.attack.v1"
+
+// attackState is the gob payload of an attack snapshot: the full
+// configuration (so a resume rebuilds the anchors without external input),
+// the config fingerprint (so merges across mismatched layouts are rejected
+// before any counter is touched), and the accumulated evidence.
+type attackState struct {
+	Config      Config
+	Fingerprint [16]byte
+	Stream      snapshot.StreamInfo
+	FM          [][]uint64
+	ABSAB       [][]float64
+	Records     uint64
+}
+
+// configFingerprint digests the request layout every shard must share for
+// its evidence to be mergeable.
+func configFingerprint(cfg Config) ([16]byte, error) {
+	return snapshot.Fingerprint(cfg)
+}
+
+// Fingerprint identifies the attack's configuration; two attacks merge only
+// if their fingerprints match.
+func (a *Attack) Fingerprint() [16]byte { return a.fp }
+
+// WriteSnapshot persists the attack's evidence as one checksummed envelope.
+// Snapshots are safe to take mid-capture: together with ReadSnapshot they
+// implement the checkpoint/resume cycle, and with Merge the multi-shard
+// collection workflow.
+func (a *Attack) WriteSnapshot(w io.Writer) error {
+	return snapshot.WriteGob(w, SnapshotKind, a.state())
+}
+
+// WriteSnapshotFile atomically persists the attack's evidence at path.
+func (a *Attack) WriteSnapshotFile(path string) error {
+	return snapshot.WriteFileGob(path, SnapshotKind, a.state())
+}
+
+func (a *Attack) state() attackState {
+	return attackState{
+		Config:      a.cfg,
+		Fingerprint: a.fp,
+		Stream:      a.Stream,
+		FM:          a.fm,
+		ABSAB:       a.absab,
+		Records:     a.Records,
+	}
+}
+
+// ReadSnapshot reconstructs an attack from a snapshot written by
+// WriteSnapshot: the embedded config rebuilds the anchor layout through New,
+// then the persisted evidence replaces the fresh accumulators after shape
+// and fingerprint validation.
+func ReadSnapshot(r io.Reader) (*Attack, error) {
+	var st attackState
+	if err := snapshot.ReadGob(r, SnapshotKind, &st); err != nil {
+		return nil, err
+	}
+	return attackFromState(st)
+}
+
+// ReadSnapshotFile loads an attack snapshot from path.
+func ReadSnapshotFile(path string) (*Attack, error) {
+	var st attackState
+	if err := snapshot.ReadFileGob(path, SnapshotKind, &st); err != nil {
+		return nil, err
+	}
+	return attackFromState(st)
+}
+
+func attackFromState(st attackState) (*Attack, error) {
+	a, err := New(st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("cookieattack: snapshot config invalid: %w", err)
+	}
+	if a.fp != st.Fingerprint {
+		return nil, errors.New("cookieattack: snapshot fingerprint does not match its config")
+	}
+	if len(st.FM) != a.chain || len(st.ABSAB) != a.chain {
+		return nil, errors.New("cookieattack: snapshot evidence shape mismatch")
+	}
+	for r := 0; r < a.chain; r++ {
+		if len(st.FM[r]) != 65536 || len(st.ABSAB[r]) != 65536 {
+			return nil, errors.New("cookieattack: snapshot evidence shape mismatch")
+		}
+	}
+	a.fm = st.FM
+	a.absab = st.ABSAB
+	a.Records = st.Records
+	a.Stream = st.Stream
+	return a, nil
+}
+
+// Merge folds another shard's evidence into the receiver. Both shards must
+// have been captured against the same request layout: configs are compared
+// by fingerprint and the merge is rejected on mismatch, so independently
+// collected shards (different machines, seeds, or capture windows) combine
+// into one evidence pool exactly as if a single process had observed every
+// record.
+func (a *Attack) Merge(o *Attack) error {
+	if o == nil {
+		return errors.New("cookieattack: nil merge source")
+	}
+	if a.fp != o.fp {
+		return errors.New("cookieattack: cannot merge shards with different configs (fingerprint mismatch)")
+	}
+	for r := 0; r < a.chain; r++ {
+		dst, src := a.fm[r], o.fm[r]
+		for i, v := range src {
+			dst[i] += v
+		}
+		fdst, fsrc := a.absab[r], o.absab[r]
+		for i, v := range fsrc {
+			fdst[i] += v
+		}
+	}
+	a.Records += o.Records
+	return nil
+}

@@ -1,10 +1,15 @@
 package dataset
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"sort"
+
+	"rc4break/internal/snapshot"
 )
 
 // Observer consumes keystreams during generation and merges with peers from
@@ -346,24 +351,148 @@ func (m *Multi) KeystreamLen() int {
 	return max
 }
 
-// Save serializes an observer's concrete value with gob. The cmd/biasgen
-// tool uses this to persist datasets for later analysis by cmd/biastest.
+// ObserverSnapshotKind tags persisted observer datasets inside the shared
+// snapshot envelope.
+const ObserverSnapshotKind = "rc4break.dataset.observer.v1"
+
+// Save serializes an observer's concrete value inside the shared snapshot
+// envelope: magic marker, format version, kind, gob payload, and a CRC-64
+// trailer. A file from a future incompatible layout therefore fails with an
+// explicit version message instead of an opaque gob decode error, and
+// truncation or bit flips are caught before the decoder runs. The
+// cmd/biasgen tool uses this to persist datasets for later analysis by
+// cmd/biastest.
 func Save(w io.Writer, obs Observer) error {
+	payload, err := encodeObserverPayload(obs, nil)
+	if err != nil {
+		return err
+	}
+	return snapshot.Write(w, ObserverSnapshotKind, payload)
+}
+
+// SaveFile atomically persists an observer at path (temp file + rename), so
+// an interrupted checkpoint never tears an existing dataset.
+func SaveFile(path string, obs Observer) error {
+	payload, err := encodeObserverPayload(obs, nil)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, ObserverSnapshotKind, payload)
+}
+
+// SaveFileMeta is SaveFile with a generation-parameter record appended to
+// the payload. Checkpointed generation (cmd/biasgen) stores its seed, lane
+// base, and chunking there so a resume under different flags is rejected
+// instead of silently mixing incompatible key populations. Files written
+// with meta stay readable by Load/LoadFile — the trailing record is simply
+// not consumed.
+func SaveFileMeta(path string, obs Observer, meta map[string]uint64) error {
+	payload, err := encodeObserverPayload(obs, meta)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, ObserverSnapshotKind, payload)
+}
+
+func encodeObserverPayload(obs Observer, meta map[string]uint64) ([]byte, error) {
 	switch obs.(type) {
 	case *SingleByteCounts, *DigraphCounts, *TargetedPairs, *EqualityCounts:
 	default:
-		return fmt.Errorf("dataset: cannot save observer type %T", obs)
+		return nil, fmt.Errorf("dataset: cannot save observer type %T", obs)
 	}
-	enc := gob.NewEncoder(w)
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
 	if err := enc.Encode(typeName(obs)); err != nil {
-		return err
+		return nil, err
 	}
-	return enc.Encode(obs)
+	if err := enc.Encode(obs); err != nil {
+		return nil, err
+	}
+	if meta != nil {
+		// Gob encodes maps in random iteration order, which would make two
+		// identical checkpoints differ byte for byte; a sorted pair list
+		// keeps serialization deterministic.
+		pairs := make([]metaPair, 0, len(meta))
+		for k, v := range meta {
+			pairs = append(pairs, metaPair{K: k, V: v})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].K < pairs[j].K })
+		if err := enc.Encode(pairs); err != nil {
+			return nil, err
+		}
+	}
+	return payload.Bytes(), nil
 }
 
-// Load deserializes an observer written by Save.
+// metaPair is the deterministic wire form of one generation parameter.
+type metaPair struct {
+	K string
+	V uint64
+}
+
+// Load deserializes an observer written by Save. Enveloped files are
+// checksum-verified and version-checked; legacy pre-envelope gob streams
+// (written before the format marker existed) still load.
 func Load(r io.Reader) (Observer, error) {
-	dec := gob.NewDecoder(r)
+	obs, _, err := loadWithMeta(r)
+	return obs, err
+}
+
+// LoadFile loads an observer dataset from path (enveloped or legacy).
+func LoadFile(path string) (Observer, error) {
+	obs, _, err := LoadFileMeta(path)
+	return obs, err
+}
+
+// LoadFileMeta loads an observer dataset plus the generation-parameter
+// record written by SaveFileMeta. meta is nil when the file carries none
+// (plain Save/SaveFile output or legacy streams).
+func LoadFileMeta(path string) (Observer, map[string]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return loadWithMeta(f)
+}
+
+// loadWithMeta is the single format-dispatch path behind Load and
+// LoadFileMeta: sniff for the envelope, verify kind, then decode the
+// observer and the optional trailing parameter record.
+func loadWithMeta(r io.Reader) (Observer, map[string]uint64, error) {
+	replay, isEnvelope, err := snapshot.Sniff(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dec *gob.Decoder
+	if isEnvelope {
+		kind, payload, err := snapshot.Read(replay)
+		if err != nil {
+			return nil, nil, err
+		}
+		if kind != ObserverSnapshotKind {
+			return nil, nil, fmt.Errorf("dataset: file holds %q, not an observer dataset", kind)
+		}
+		dec = gob.NewDecoder(bytes.NewReader(payload))
+	} else {
+		dec = gob.NewDecoder(replay)
+	}
+	obs, err := decodeObserver(dec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pairs []metaPair
+	if err := dec.Decode(&pairs); err != nil {
+		return obs, nil, nil // absent or legacy: not an error
+	}
+	meta := make(map[string]uint64, len(pairs))
+	for _, p := range pairs {
+		meta[p.K] = p.V
+	}
+	return obs, meta, nil
+}
+
+func decodeObserver(dec *gob.Decoder) (Observer, error) {
 	var name string
 	if err := dec.Decode(&name); err != nil {
 		return nil, err
@@ -385,6 +514,23 @@ func Load(r io.Reader) (Observer, error) {
 		return nil, err
 	}
 	return obs, nil
+}
+
+// KeysObserved reports how many keystreams an observer has folded in — the
+// resume logic of chunked generation reads it to find where a checkpoint
+// left off.
+func KeysObserved(obs Observer) uint64 {
+	switch o := obs.(type) {
+	case *SingleByteCounts:
+		return o.Keys
+	case *DigraphCounts:
+		return o.Keys
+	case *TargetedPairs:
+		return o.Keys
+	case *EqualityCounts:
+		return o.Keys
+	}
+	return 0
 }
 
 func typeName(obs Observer) string {

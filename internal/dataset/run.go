@@ -41,6 +41,12 @@ type Config struct {
 	// Ctx, when non-nil, cancels the run early; pair with WithProgress to
 	// observe long runs. nil means context.Background().
 	Ctx context.Context
+	// LaneOffset shifts the KeySource lane space of this run. Two runs with
+	// the same master but disjoint lane offsets draw disjoint RC4 key
+	// sequences, which is how independent capture shards and the chunks of
+	// a checkpointed generation stay non-overlapping. 0 preserves the
+	// repository's historical lane layout.
+	LaneOffset uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +82,7 @@ func Run(cfg Config, factory func() Observer) (Observer, error) {
 	if cfg.KeyLen < rc4.MinKeyLen || cfg.KeyLen > rc4.MaxKeyLen {
 		return nil, rc4.KeySizeError(cfg.KeyLen)
 	}
-	shards := SplitKeys(cfg.Keys, cfg.Workers, runLaneOffset)
+	shards := SplitKeys(cfg.Keys, cfg.Workers, runLaneOffset+cfg.LaneOffset)
 	observers := make([]Observer, len(shards))
 	for i := range observers {
 		observers[i] = factory()

@@ -84,6 +84,13 @@ func (v *WiFiVictim) Transmit() tkip.Frame {
 // injected packet ... without any false positives").
 func (v *WiFiVictim) FrameLen() int { return len(v.MSDU) + tkip.TrailerSize }
 
+// Skip advances the victim past n transmissions without encrypting them —
+// each frame is independently keyed by its TSC, so skipping is O(1). A
+// resumed capture uses it to fast-forward past the frames its checkpoint
+// already holds; the subsequent Transmit stream is byte-identical to an
+// uninterrupted victim's.
+func (v *WiFiVictim) Skip(n uint64) { v.next += n }
+
 // Sniffer filters captured frames by the injected packet's unique length
 // and de-duplicates retransmissions of the same TSC (§5.4).
 type Sniffer struct {
@@ -183,6 +190,15 @@ func (v *HTTPSVictim) SendRequest() []byte {
 // MAC) — what the attacker uses to derive keystream alignment (§6.3).
 func (v *HTTPSVictim) RecordPlaintextLen() int {
 	return len(v.body) + tlsrec.MACSize
+}
+
+// Skip advances the victim past n requests without sealing them: the
+// connection's RC4 stream and sequence number move exactly as n SendRequest
+// calls would, at raw PRGA speed. A resumed capture uses it to fast-forward
+// past the records its checkpoint already holds; the subsequent SendRequest
+// stream is byte-identical to an uninterrupted victim's.
+func (v *HTTPSVictim) Skip(n uint64) {
+	v.Conn.SkipRecords(n, len(v.body))
 }
 
 // CookieServer models the target web server for the brute-force phase: it

@@ -1,0 +1,268 @@
+// Package snapshot defines the repository's attack-state persistence
+// envelope: a versioned, checksummed binary container that every on-disk
+// artifact — cookie-attack evidence, TKIP capture state, trained per-TSC
+// models, keystream datasets — shares. The paper's collection campaigns run
+// for hours across machines (§3.2's ~80-machine cluster, §5.4/§6.3's
+// multi-hour captures), so shards must be able to checkpoint, crash, resume,
+// and merge without one flipped bit or one mismatched layout silently
+// corrupting billions of observations. The envelope gives each consumer:
+//
+//   - a magic marker, so stale or foreign files fail fast instead of
+//     producing an opaque gob decode error;
+//   - an explicit format version, so future layouts are rejected with a
+//     message naming both versions;
+//   - a kind string, so a TKIP model is never decoded as cookie evidence;
+//   - a CRC-64 trailer over the whole envelope, so truncation and bit flips
+//     are detected before any payload reaches a decoder.
+//
+// Payloads themselves are gob-encoded by the owning package; the envelope is
+// deliberately ignorant of their shape.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a snapshot envelope; it is the first MagicLen bytes of
+// every file the repository's tools write.
+const Magic = "RC4BSNAP"
+
+// MagicLen is the length of Magic in bytes.
+const MagicLen = len(Magic)
+
+// Version is the envelope format version this package writes and the newest
+// it can read.
+const Version = 1
+
+// Errors surfaced by Read. ErrNotSnapshot lets callers with legacy formats
+// (pre-envelope gob streams) fall back instead of failing hard.
+var (
+	ErrNotSnapshot = errors.New("snapshot: not a snapshot envelope (bad magic)")
+	ErrChecksum    = errors.New("snapshot: checksum mismatch (file corrupted)")
+	ErrTruncated   = errors.New("snapshot: truncated envelope (incomplete write or cut-off file)")
+)
+
+// maxKindLen bounds the kind string; anything longer indicates corruption.
+const maxKindLen = 256
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Write emits one envelope: magic, version, kind, payload, CRC-64 trailer.
+func Write(w io.Writer, kind string, payload []byte) error {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return fmt.Errorf("snapshot: kind length %d out of range [1,%d]", len(kind), maxKindLen)
+	}
+	header := make([]byte, 0, MagicLen+4+4+len(kind)+8)
+	header = append(header, Magic...)
+	header = binary.BigEndian.AppendUint32(header, Version)
+	header = binary.BigEndian.AppendUint32(header, uint32(len(kind)))
+	header = append(header, kind...)
+	header = binary.BigEndian.AppendUint64(header, uint64(len(payload)))
+
+	crc := crc64.Update(0, crcTable, header)
+	crc = crc64.Update(crc, crcTable, payload)
+
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var trailer [8]byte
+	binary.BigEndian.PutUint64(trailer[:], crc)
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// Read parses one envelope, verifying magic, version, and checksum. It
+// returns the kind and payload. A stream that does not start with the magic
+// yields ErrNotSnapshot; short streams yield ErrTruncated; a trailer
+// mismatch yields ErrChecksum.
+func Read(r io.Reader) (kind string, payload []byte, err error) {
+	fixed := make([]byte, MagicLen+4+4)
+	if err := readFull(r, fixed); err != nil {
+		return "", nil, err
+	}
+	if string(fixed[:MagicLen]) != Magic {
+		return "", nil, ErrNotSnapshot
+	}
+	version := binary.BigEndian.Uint32(fixed[MagicLen:])
+	if version == 0 || version > Version {
+		return "", nil, fmt.Errorf("snapshot: envelope version %d not supported (this build reads up to version %d)", version, Version)
+	}
+	kindLen := binary.BigEndian.Uint32(fixed[MagicLen+4:])
+	if kindLen == 0 || kindLen > maxKindLen {
+		return "", nil, fmt.Errorf("snapshot: corrupt kind length %d", kindLen)
+	}
+	rest := make([]byte, int(kindLen)+8)
+	if err := readFull(r, rest); err != nil {
+		return "", nil, err
+	}
+	kind = string(rest[:kindLen])
+	payloadLen := binary.BigEndian.Uint64(rest[kindLen:])
+	const maxPayload = 1 << 40
+	if payloadLen > maxPayload {
+		return "", nil, fmt.Errorf("snapshot: corrupt payload length %d", payloadLen)
+	}
+	// Copy incrementally rather than trusting the untrusted length field
+	// with one up-front allocation: a corrupt length on a short file ends
+	// at ErrTruncated with memory bounded by the actual stream size.
+	var payloadBuf bytes.Buffer
+	if n, err := io.CopyN(&payloadBuf, r, int64(payloadLen)); err != nil {
+		if err == io.EOF && n < int64(payloadLen) {
+			return "", nil, ErrTruncated
+		}
+		return "", nil, err
+	}
+	payload = payloadBuf.Bytes()
+	var trailer [8]byte
+	if err := readFull(r, trailer[:]); err != nil {
+		return "", nil, err
+	}
+	crc := crc64.Update(0, crcTable, fixed)
+	crc = crc64.Update(crc, crcTable, rest)
+	crc = crc64.Update(crc, crcTable, payload)
+	if binary.BigEndian.Uint64(trailer[:]) != crc {
+		return "", nil, ErrChecksum
+	}
+	return kind, payload, nil
+}
+
+func readFull(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	return nil
+}
+
+// WriteGob gob-encodes v and writes it as an envelope of the given kind.
+func WriteGob(w io.Writer, kind string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return Write(w, kind, buf.Bytes())
+}
+
+// ReadGob reads one envelope, checks it carries wantKind, and gob-decodes
+// the payload into v.
+func ReadGob(r io.Reader, wantKind string, v any) error {
+	kind, payload, err := Read(r)
+	if err != nil {
+		return err
+	}
+	if kind != wantKind {
+		return fmt.Errorf("snapshot: envelope holds %q, want %q", kind, wantKind)
+	}
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
+// WriteFile atomically persists an envelope at path: the bytes land in a
+// temporary file in the same directory which is fsynced and renamed over
+// path, so a crash mid-write never leaves a torn checkpoint — the previous
+// checkpoint, if any, survives intact.
+func WriteFile(path, kind string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, kind, payload); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WriteFileGob atomically persists v as a gob-encoded envelope at path (see
+// WriteFile for the crash-safety guarantees).
+func WriteFileGob(path, kind string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	return WriteFile(path, kind, buf.Bytes())
+}
+
+// ReadFileGob loads an envelope of wantKind from path into v.
+func ReadFileGob(path, wantKind string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ReadGob(f, wantKind, v)
+}
+
+// Sniff reads just enough of r to decide whether it starts with the
+// envelope magic, returning a reader that replays the inspected bytes. It
+// lets loaders accept both enveloped files and legacy pre-envelope gob
+// streams.
+func Sniff(r io.Reader) (replay io.Reader, isEnvelope bool, err error) {
+	peek := make([]byte, MagicLen)
+	n, err := io.ReadFull(r, peek)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, false, err
+	}
+	peek = peek[:n]
+	return io.MultiReader(bytes.NewReader(peek), r), string(peek) == Magic, nil
+}
+
+// StreamInfo identifies the capture stream a snapshot's evidence came from:
+// the collection mode and the seed its source streams derive from. Resuming
+// an exact-mode capture only makes sense against the same stream (the
+// resumed process fast-forwards past the records the snapshot already
+// holds), so drivers validate this before continuing a shard. Typed fields,
+// not a map, keep the gob encoding deterministic — snapshot bytes stay
+// comparable across identical runs.
+type StreamInfo struct {
+	Mode string // "exact" | "model" | "" (unset / library-level use)
+	Seed int64
+}
+
+// Fingerprint is a stable 16-byte digest of a gob-encodable configuration
+// value, used to reject merges and resumes across mismatched layouts (a
+// shard captured against a different plaintext, model, or position set).
+// FNV-1a over the gob stream is deterministic for a fixed type and ample
+// for accident detection; this is an integrity check, not an authenticator.
+func Fingerprint(v any) ([16]byte, error) {
+	var out [16]byte
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return out, err
+	}
+	// Two independent 64-bit FNV-1a passes (the second over the reversed
+	// stream) fill the 128-bit fingerprint.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	b := buf.Bytes()
+	h1 := uint64(offset64)
+	for _, c := range b {
+		h1 = (h1 ^ uint64(c)) * prime64
+	}
+	h2 := uint64(offset64)
+	for i := len(b) - 1; i >= 0; i-- {
+		h2 = (h2 ^ uint64(b[i])) * prime64
+	}
+	binary.BigEndian.PutUint64(out[:8], h1)
+	binary.BigEndian.PutUint64(out[8:], h2)
+	return out, nil
+}

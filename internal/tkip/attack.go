@@ -6,8 +6,10 @@ import (
 	"math/rand"
 
 	"rc4break/internal/checksum"
+	"rc4break/internal/dataset"
 	"rc4break/internal/michael"
 	"rc4break/internal/recovery"
+	"rc4break/internal/snapshot"
 )
 
 // Attack accumulates ciphertext statistics for the §5.3 packet-decryption
@@ -19,6 +21,13 @@ type Attack struct {
 	Positions []int    // 1-indexed keystream positions under attack
 	counts    []uint64 // [class][posIdx][cipherByte]
 	Frames    uint64
+	// Workers bounds the parallelism of SimulateCaptures; 0 means
+	// GOMAXPROCS. Results are bitwise identical for any value.
+	Workers int
+	// Stream, when set by a capture driver, records which stream the
+	// frames came from; it rides along in snapshots so an exact-mode
+	// resume against a different stream can be rejected.
+	Stream snapshot.StreamInfo
 }
 
 // NewAttack prepares an attack over the given keystream positions, which
@@ -127,25 +136,39 @@ func (a *Attack) RecoverTrailer(da, sa [6]byte, knownMSDU []byte, maxDepth int) 
 // the likelihoods consume), making the cost independent of n — the same
 // approach the paper's own Fig. 8 simulation scale demands. The plaintext
 // pt supplies the true bytes at the attacked positions.
+//
+// TSC classes are statistically independent and write disjoint count
+// regions, so the simulation fans the 256 classes out over a worker pool
+// with one pre-seeded RNG per class (seeded from rng in class order). The
+// result is bitwise identical for any Workers value.
 func (a *Attack) SimulateCaptures(rng *rand.Rand, pt []byte, n uint64) error {
 	if len(pt) != len(a.Positions) {
 		return errors.New("tkip: plaintext length must match attacked positions")
 	}
+	seeds := make([]int64, 256)
+	for class := range seeds {
+		seeds[class] = rng.Int63()
+	}
 	perClass := float64(n) / 256
-	for class := 0; class < 256; class++ {
+	err := dataset.ForShards(a.Workers, 256, func(class int) error {
+		crng := rand.New(rand.NewSource(seeds[class]))
 		base := class * len(a.Positions) * 256
 		for pi, pos := range a.Positions {
 			dist := a.Model.Distribution(byte(class), pos)
 			row := a.counts[base+pi*256 : base+pi*256+256]
 			for z := 0; z < 256; z++ {
 				mean := perClass * dist[z]
-				v := mean + math.Sqrt(mean)*rng.NormFloat64()
+				v := mean + math.Sqrt(mean)*crng.NormFloat64()
 				if v < 0 {
 					v = 0
 				}
 				row[z^int(pt[pi])] += uint64(v + 0.5)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	a.AddFrameCount(n)
 	return nil

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"os"
+	"sync"
 
 	"rc4break/internal/dataset"
+	"rc4break/internal/snapshot"
 )
 
 // PerTSCModel holds empirical keystream distributions conditioned on the
@@ -21,6 +24,11 @@ type PerTSCModel struct {
 	TSC1      byte     // the fixed TSC1 of this model
 	Counts    []uint64 // [class=TSC0][pos][val]
 	Keys      uint64   // keys per class
+
+	// fingerprint caching (models are immutable once trained/loaded).
+	fpOnce sync.Once
+	fp     [16]byte
+	fpErr  error
 }
 
 // TrainConfig controls per-TSC model training.
@@ -126,17 +134,76 @@ func (m *PerTSCModel) Count(tsc0 byte, pos int, val byte) uint64 {
 	return m.Counts[int(tsc0)*m.Positions*256+(pos-1)*256+int(val)]
 }
 
-// Save persists the model with gob. Training is the expensive step of the
-// §5 attack (the paper spent 10 CPU-years on its model), so a real tool
-// trains once and reloads.
-func (m *PerTSCModel) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(m)
+// ModelSnapshotKind tags trained per-TSC models inside the shared snapshot
+// envelope.
+const ModelSnapshotKind = "rc4break.tkip.model.v1"
+
+// modelState is the gob payload of a model snapshot — the exported model
+// fields without the runtime-only fingerprint cache.
+type modelState struct {
+	Positions int
+	TSC1      byte
+	Counts    []uint64
+	Keys      uint64
 }
 
-// LoadModel reads a model written by Save and validates its shape.
+// Fingerprint identifies the trained model. Attack snapshots embed it so a
+// capture resumed or merged against a different model is rejected instead of
+// silently mixing likelihood spaces. The digest is computed once and cached;
+// models are immutable after training or loading.
+func (m *PerTSCModel) Fingerprint() ([16]byte, error) {
+	m.fpOnce.Do(func() {
+		m.fp, m.fpErr = snapshot.Fingerprint(modelState{
+			Positions: m.Positions, TSC1: m.TSC1, Counts: m.Counts, Keys: m.Keys,
+		})
+	})
+	return m.fp, m.fpErr
+}
+
+// Save persists the model as a checksummed snapshot envelope. Training is
+// the expensive step of the §5 attack (the paper spent 10 CPU-years on its
+// model), so a real tool trains once and reloads.
+func (m *PerTSCModel) Save(w io.Writer) error {
+	return snapshot.WriteGob(w, ModelSnapshotKind, modelState{
+		Positions: m.Positions, TSC1: m.TSC1, Counts: m.Counts, Keys: m.Keys,
+	})
+}
+
+// SaveFile atomically persists the model at path (temp file + rename): a
+// crash mid-write must never leave a torn file where the expensive training
+// artifact used to be.
+func (m *PerTSCModel) SaveFile(path string) error {
+	return snapshot.WriteFileGob(path, ModelSnapshotKind, modelState{
+		Positions: m.Positions, TSC1: m.TSC1, Counts: m.Counts, Keys: m.Keys,
+	})
+}
+
+// LoadModelFile loads a model from path (enveloped or legacy).
+func LoadModelFile(path string) (*PerTSCModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+// LoadModel reads a model written by Save and validates its shape. Legacy
+// pre-envelope models (bare gob streams) still load; new writes always carry
+// the envelope's version marker and checksum.
 func LoadModel(r io.Reader) (*PerTSCModel, error) {
-	var m PerTSCModel
-	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+	replay, isEnvelope, err := snapshot.Sniff(r)
+	if err != nil {
+		return nil, err
+	}
+	m := new(PerTSCModel)
+	if isEnvelope {
+		var st modelState
+		if err := snapshot.ReadGob(replay, ModelSnapshotKind, &st); err != nil {
+			return nil, err
+		}
+		m.Positions, m.TSC1, m.Counts, m.Keys = st.Positions, st.TSC1, st.Counts, st.Keys
+	} else if err := gob.NewDecoder(replay).Decode(m); err != nil {
 		return nil, err
 	}
 	if m.Positions <= 0 || len(m.Counts) != 256*m.Positions*256 {
@@ -145,7 +212,7 @@ func LoadModel(r io.Reader) (*PerTSCModel, error) {
 	if m.Keys == 0 {
 		return nil, errors.New("tkip: corrupt model (zero key count)")
 	}
-	return &m, nil
+	return m, nil
 }
 
 // SyntheticModel builds a per-TSC model whose class distributions deviate

@@ -1,0 +1,136 @@
+package tkip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rc4break/internal/snapshot"
+)
+
+// AttackSnapshotKind tags §5.3 capture-state snapshots inside the shared
+// envelope format.
+const AttackSnapshotKind = "rc4break.tkip.attack.v1"
+
+// attackState is the gob payload of an attack snapshot: the attacked
+// positions and per-TSC ciphertext histograms, plus the fingerprint of the
+// model the statistics will be evaluated against — a capture resumed or
+// merged under a different model would silently mix likelihood spaces, so
+// the fingerprint is validated before any counter is restored.
+type attackState struct {
+	ModelFingerprint [16]byte
+	Stream           snapshot.StreamInfo
+	Positions        []int
+	Counts           []uint64
+	Frames           uint64
+}
+
+func (a *Attack) state() (attackState, error) {
+	fp, err := a.Model.Fingerprint()
+	if err != nil {
+		return attackState{}, err
+	}
+	return attackState{
+		ModelFingerprint: fp,
+		Stream:           a.Stream,
+		Positions:        a.Positions,
+		Counts:           a.counts,
+		Frames:           a.Frames,
+	}, nil
+}
+
+// WriteSnapshot persists the capture state as one checksummed envelope.
+func (a *Attack) WriteSnapshot(w io.Writer) error {
+	st, err := a.state()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteGob(w, AttackSnapshotKind, st)
+}
+
+// WriteSnapshotFile atomically persists the capture state at path.
+func (a *Attack) WriteSnapshotFile(path string) error {
+	st, err := a.state()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFileGob(path, AttackSnapshotKind, st)
+}
+
+// ReadAttackSnapshot reconstructs an attack from a snapshot, binding it to
+// model. The snapshot must have been taken against the same trained model
+// (validated by fingerprint) and its counters must match the position
+// layout.
+func ReadAttackSnapshot(r io.Reader, model *PerTSCModel) (*Attack, error) {
+	var st attackState
+	if err := snapshot.ReadGob(r, AttackSnapshotKind, &st); err != nil {
+		return nil, err
+	}
+	return attackFromState(st, model)
+}
+
+// ReadAttackSnapshotFile loads an attack snapshot from path.
+func ReadAttackSnapshotFile(path string, model *PerTSCModel) (*Attack, error) {
+	var st attackState
+	if err := snapshot.ReadFileGob(path, AttackSnapshotKind, &st); err != nil {
+		return nil, err
+	}
+	return attackFromState(st, model)
+}
+
+func attackFromState(st attackState, model *PerTSCModel) (*Attack, error) {
+	fp, err := model.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if fp != st.ModelFingerprint {
+		return nil, errors.New("tkip: snapshot was captured against a different model (fingerprint mismatch)")
+	}
+	a, err := NewAttack(model, st.Positions)
+	if err != nil {
+		return nil, fmt.Errorf("tkip: snapshot positions invalid: %w", err)
+	}
+	if len(st.Counts) != len(a.counts) {
+		return nil, errors.New("tkip: snapshot count shape mismatch")
+	}
+	a.counts = st.Counts
+	a.Frames = st.Frames
+	a.Stream = st.Stream
+	return a, nil
+}
+
+// Merge folds another shard's capture statistics into the receiver. Both
+// shards must attack the same positions against the same model; mismatches
+// are rejected so independently captured shards combine exactly as if one
+// sniffer had observed every frame.
+func (a *Attack) Merge(o *Attack) error {
+	if o == nil {
+		return errors.New("tkip: nil merge source")
+	}
+	if a.Model != o.Model {
+		afp, err := a.Model.Fingerprint()
+		if err != nil {
+			return err
+		}
+		ofp, err := o.Model.Fingerprint()
+		if err != nil {
+			return err
+		}
+		if afp != ofp {
+			return errors.New("tkip: cannot merge shards trained against different models (fingerprint mismatch)")
+		}
+	}
+	if len(a.Positions) != len(o.Positions) {
+		return errors.New("tkip: cannot merge shards attacking different positions")
+	}
+	for i, p := range a.Positions {
+		if o.Positions[i] != p {
+			return errors.New("tkip: cannot merge shards attacking different positions")
+		}
+	}
+	for i, v := range o.counts {
+		a.counts[i] += v
+	}
+	a.Frames += o.Frames
+	return nil
+}

@@ -21,7 +21,13 @@ type Scanner struct {
 }
 
 // ErrRecordTooLarge guards against desynchronized streams: TLS caps record
-// payloads at 2^14 + 2048; anything larger means we lost framing.
+// payloads at 2^14 + 2048; anything larger means we lost framing. When Feed
+// returns it, the scanner has discarded its entire buffer — the bytes after
+// a bogus header are unframeable, and keeping them would make every
+// subsequent Feed re-fail on the same stale data. Records delivered before
+// the bad header stay delivered, and Records/Skipped keep counting them;
+// the caller resynchronizes by feeding bytes from a fresh record boundary
+// (typically after reopening the stream).
 var ErrRecordTooLarge = errors.New("tlsrec: record length exceeds TLS maximum (stream desynchronized?)")
 
 const maxRecordLen = 16384 + 2048
@@ -29,30 +35,42 @@ const maxRecordLen = 16384 + 2048
 // Feed appends stream bytes and invokes deliver for every complete
 // application-data record body (the encrypted payload ‖ MAC, without the
 // 5-byte header) now available. Bodies are only valid during the callback.
+//
+// Parsed records are tracked by a read offset and the buffer is compacted
+// once per Feed call, so one Feed carrying R records costs O(R + len(buf)) —
+// not the O(R·len(buf)) a per-record compaction would (a 64 KiB chunk of
+// 512-byte records holds ~126 of them).
 func (s *Scanner) Feed(data []byte, deliver func(body []byte)) error {
 	s.buf = append(s.buf, data...)
+	off := 0
 	for {
-		if len(s.buf) < HeaderSize {
-			return nil
+		if len(s.buf)-off < HeaderSize {
+			break
 		}
-		length := int(binary.BigEndian.Uint16(s.buf[3:5]))
+		length := int(binary.BigEndian.Uint16(s.buf[off+3 : off+5]))
 		if length > maxRecordLen {
+			// Drop the poisoned buffer: see ErrRecordTooLarge.
+			s.buf = s.buf[:0]
 			return ErrRecordTooLarge
 		}
 		total := HeaderSize + length
-		if len(s.buf) < total {
-			return nil
+		if len(s.buf)-off < total {
+			break
 		}
-		typ := s.buf[0]
-		body := s.buf[HeaderSize:total]
+		typ := s.buf[off]
+		body := s.buf[off+HeaderSize : off+total]
 		if typ == TypeApplicationData {
 			s.Records++
 			deliver(body)
 		} else {
 			s.Skipped++
 		}
-		s.buf = s.buf[:copy(s.buf, s.buf[total:])]
+		off += total
 	}
+	if off > 0 {
+		s.buf = s.buf[:copy(s.buf, s.buf[off:])]
+	}
+	return nil
 }
 
 // CollectRequests is the full §6.3 filter: it scans the stream and delivers

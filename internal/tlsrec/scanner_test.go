@@ -156,3 +156,105 @@ func TestScannerFeedsCookieAttack(t *testing.T) {
 		}
 	}
 }
+
+func TestScannerLargeChunkMatchesFragmentedDelivery(t *testing.T) {
+	// Regression for the per-record compaction bug: one Feed carrying many
+	// records must deliver exactly what fragmented feeding delivers, in the
+	// same order, with identical counters.
+	payloads := make([][]byte, 200)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i)}, 100+i%7)
+	}
+	stream, want := sealedStream(t, payloads...)
+	// Interleave a couple of non-application records mid-stream.
+	hs := []byte{22, 0x03, 0x03, 0x00, 0x02, 9, 9}
+	full := append(append(append([]byte{}, hs...), stream...), hs...)
+
+	var batch Scanner
+	var batchGot [][]byte
+	if err := batch.Feed(full, func(b []byte) {
+		batchGot = append(batchGot, append([]byte{}, b...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var frag Scanner
+	var fragGot [][]byte
+	for off := 0; off < len(full); off += 13 {
+		end := off + 13
+		if end > len(full) {
+			end = len(full)
+		}
+		if err := frag.Feed(full[off:end], func(b []byte) {
+			fragGot = append(fragGot, append([]byte{}, b...))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(batchGot) != len(want) || len(fragGot) != len(want) {
+		t.Fatalf("delivered batch=%d frag=%d want=%d", len(batchGot), len(fragGot), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(batchGot[i], want[i]) || !bytes.Equal(fragGot[i], want[i]) {
+			t.Fatalf("record %d differs between delivery modes", i)
+		}
+	}
+	if batch.Records != frag.Records || batch.Skipped != frag.Skipped || batch.Skipped != 2 {
+		t.Fatalf("counters differ: batch=(%d,%d) frag=(%d,%d)",
+			batch.Records, batch.Skipped, frag.Records, frag.Skipped)
+	}
+	if len(batch.buf) != 0 || len(frag.buf) != 0 {
+		t.Fatal("buffer not drained after complete records")
+	}
+}
+
+func TestScannerDesyncRecovery(t *testing.T) {
+	// After ErrRecordTooLarge the poisoned buffer is dropped: earlier
+	// records stay delivered and counted, subsequent Feeds do not re-fail
+	// on stale bytes, and a fresh record parses cleanly.
+	good, want := sealedStream(t, []byte("before desync"))
+	bogus := []byte{23, 0x03, 0x03, 0xff, 0xff, 1, 2, 3} // length 65535 > max
+
+	var s Scanner
+	var got [][]byte
+	deliver := func(b []byte) { got = append(got, append([]byte{}, b...)) }
+	if err := s.Feed(append(append([]byte{}, good...), bogus...), deliver); err != ErrRecordTooLarge {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], want[0]) || s.Records != 1 {
+		t.Fatalf("pre-desync record lost: delivered=%d records=%d", len(got), s.Records)
+	}
+
+	// The next Feed starts from a clean buffer: a fresh, valid record is
+	// delivered without error instead of re-failing on the stale header.
+	good2, want2 := sealedStream(t, []byte("after desync"))
+	if err := s.Feed(good2, deliver); err != nil {
+		t.Fatalf("feed after desync: %v", err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[1], want2[0]) || s.Records != 2 {
+		t.Fatalf("post-desync record not delivered: delivered=%d records=%d", len(got), s.Records)
+	}
+}
+
+func BenchmarkScannerFeedLargeChunk(b *testing.B) {
+	// One Feed call carrying many complete records — the §6.3 collection
+	// shape when a capture tool hands the scanner whole TCP segments.
+	var kb KeyBlock
+	kb.Key[0] = 9
+	conn := NewConn(kb)
+	var stream []byte
+	const records = 1024
+	body := bytes.Repeat([]byte{'r'}, 512)
+	for i := 0; i < records; i++ {
+		stream = append(stream, conn.Seal(body)...)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Scanner
+		if err := s.Feed(stream, func([]byte) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -152,3 +152,26 @@ func (c *Conn) computeMAC(typ byte, payload []byte) []byte {
 // Seq reports how many records have been processed — used by attack code
 // to locate keystream offsets of a given record on a persistent connection.
 func (c *Conn) Seq() uint64 { return c.seq }
+
+// SkipRecords advances the connection as if n records of payloadLen bytes
+// each had been sealed: the RC4 stream skips n·(payloadLen+MACSize) bytes
+// and the sequence number advances by n. A resumed capture uses it to
+// fast-forward a persistent connection past already-observed records
+// without paying for HMAC or record assembly; the subsequent Seal output is
+// byte-identical to an uninterrupted connection's.
+func (c *Conn) SkipRecords(n uint64, payloadLen int) {
+	// Skip in bounded chunks: n·recordLen at paper-scale resume counts
+	// exceeds int32, so a single int conversion would wrap on 32-bit
+	// platforms and silently desynchronize the stream.
+	total := n * uint64(payloadLen+MACSize)
+	const step = 1 << 30
+	for total > 0 {
+		s := total
+		if s > step {
+			s = step
+		}
+		c.cipher.Skip(int(s))
+		total -= s
+	}
+	c.seq += n
+}

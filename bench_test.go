@@ -17,6 +17,7 @@ import (
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/netsim"
 	"rc4break/internal/packet"
+	"rc4break/internal/recovery"
 	"rc4break/internal/tkip"
 	"rc4break/internal/tlsrec"
 )
@@ -245,6 +246,90 @@ func BenchmarkCandidateGeneration(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		if _, err := attack.Candidates(1 << 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCookieAttack builds a cookie attack loaded with 2^28 simulated
+// records — the shared fixture of the likelihood/candidate benchmarks.
+func benchCookieAttack(b *testing.B) *cookieattack.Attack {
+	b.Helper()
+	secret := []byte("0123456789abcdef")
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", string(secret), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attack, err := cookieattack.New(cookieattack.Config{
+		CookieLen:   16,
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := attack.SimulateStatistics(rand.New(rand.NewSource(5)), secret, 1<<28); err != nil {
+		b.Fatal(err)
+	}
+	return attack
+}
+
+// BenchmarkLikelihoodsCookie measures one cookie-attack likelihood pass:
+// the 17-link FM + ABSAB combination (eq. 25) the online runtime re-runs at
+// every decode point.
+func BenchmarkLikelihoodsCookie(b *testing.B) {
+	attack := benchCookieAttack(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := attack.Likelihoods(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLikelihoodsTKIP measures one TKIP likelihood pass: 12 trailer
+// positions x 256 TSC classes of single-byte likelihoods.
+func BenchmarkLikelihoodsTKIP(b *testing.B) {
+	msduLen := packet.HeaderSize + 7
+	positions := tkip.TrailerPositions(msduLen)
+	model := tkip.SyntheticModel(positions[len(positions)-1], 1.0/768, 11)
+	attack, err := tkip.NewAttack(model, positions)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trailer := make([]byte, len(positions))
+	for i := range trailer {
+		trailer[i] = byte(17 * i)
+	}
+	if err := attack.SimulateCaptures(rand.New(rand.NewSource(6)), trailer, 9<<20); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := attack.Likelihoods(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDoubleByteCandidates measures repeated Algorithm 2 list-Viterbi
+// decodes in isolation (likelihoods precomputed) at the online demo's
+// per-round depth — the decode the online runtime re-runs at every cadence
+// point, so the N-best tables are held in one PairDecoder across rounds.
+func BenchmarkDoubleByteCandidates(b *testing.B) {
+	attack := benchCookieAttack(b)
+	lks, err := attack.Likelihoods()
+	if err != nil {
+		b.Fatal(err)
+	}
+	charset := httpmodel.CookieCharset()
+	var dec recovery.PairDecoder
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := dec.Decode(lks, 'a', 'b', 1<<12, charset); err != nil {
 			b.Fatal(err)
 		}
 	}

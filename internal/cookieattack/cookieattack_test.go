@@ -248,3 +248,93 @@ func TestCandidatesRespectCharset(t *testing.T) {
 		}
 	}
 }
+
+// TestLikelihoodsWorkerInvarianceAndReuse pins the decode-path contract the
+// online runtime depends on: Likelihoods and Candidates are bitwise
+// identical for any Workers value, and repeated calls on one attack (which
+// reuse the likelihood tables and list-Viterbi decoder) reproduce the first
+// call exactly.
+func TestLikelihoodsWorkerInvarianceAndReuse(t *testing.T) {
+	secret := "0123456789abcdef"
+	attack, err := New(testConfig(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attack.SimulateStatistics(rand.New(rand.NewSource(9)), []byte(secret), 1<<24); err != nil {
+		t.Fatal(err)
+	}
+
+	attack.Workers = 1
+	ref, err := attack.Likelihoods()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCopy := make([]recovery.PairLikelihoods, len(ref))
+	for r := range ref {
+		refCopy[r] = *ref[r] // the returned slice aliases attack scratch
+	}
+	refCands, err := attack.Candidates(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 7} {
+		attack.Workers = workers
+		for repeat := 0; repeat < 2; repeat++ {
+			lks, err := attack.Likelihoods()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range lks {
+				if *lks[r] != refCopy[r] {
+					t.Fatalf("workers=%d repeat=%d: link %d likelihoods differ", workers, repeat, r)
+				}
+			}
+			cands, err := attack.Candidates(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cands) != len(refCands) {
+				t.Fatalf("workers=%d: %d candidates, want %d", workers, len(cands), len(refCands))
+			}
+			for i := range cands {
+				if !bytes.Equal(cands[i].Plaintext, refCands[i].Plaintext) || cands[i].Score != refCands[i].Score {
+					t.Fatalf("workers=%d repeat=%d: candidate %d differs", workers, repeat, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeMatchesCandidates confirms the online Decode source yields the
+// same ranked cookies as Candidates.
+func TestDecodeMatchesCandidates(t *testing.T) {
+	secret := "0123456789abcdef"
+	attack, err := New(testConfig(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attack.SimulateStatistics(rand.New(rand.NewSource(10)), []byte(secret), 1<<22); err != nil {
+		t.Fatal(err)
+	}
+	cands, err := attack.Candidates(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := attack.Decode(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cands {
+		c, ok := src.Next()
+		if !ok || !bytes.Equal(c.Plaintext, cands[i].Plaintext) {
+			t.Fatalf("decode candidate %d differs (ok=%v)", i, ok)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("decode source longer than requested depth")
+	}
+	if attack.Observed() != attack.Records {
+		t.Fatal("Observed does not report Records")
+	}
+}

@@ -194,26 +194,63 @@ type TargetedLongTerm struct {
 	Counts []uint64
 	Pairs  uint64 // total digraphs observed
 	PerI   uint64 // digraphs observed per single i-class (Pairs/256)
+
+	// Targeted-counting index, built lazily from Cells: for each PRGA
+	// counter i, the cells resolved to concrete (x, y) values, plus a
+	// 256-bit bitmap of the first bytes any cell at that i matches. Almost
+	// every observed digraph misses the bitmap, so the hot loop does one
+	// bit test per position instead of walking every cell.
+	byI      [256][]resolvedCell
+	mask     [256][4]uint64
+	prepared bool
 }
 
-// Window implements Sink; the window layout matches LongTermDigraphs.
-func (tt *TargetedLongTerm) Window(win []byte) {
-	for r := 0; r < 256; r++ {
-		x, y := win[r], win[r+1]
+// resolvedCell is one cell with its i-dependent values fixed for a
+// specific counter.
+type resolvedCell struct {
+	x, y byte
+	ci   uint16
+}
+
+// prepare builds the per-i index. Cells must not change afterwards.
+func (tt *TargetedLongTerm) prepare() {
+	for i := 0; i < 256; i++ {
 		for ci := range tt.Cells {
 			cell := &tt.Cells[ci]
-			if cell.I >= 0 && cell.I != r {
+			if cell.I >= 0 && cell.I != i {
 				continue
 			}
 			cx, cy := cell.X, cell.Y
 			if cell.XPlusI {
-				cx += byte(r)
+				cx += byte(i)
 			}
 			if cell.YPlusI {
-				cy += byte(r)
+				cy += byte(i)
 			}
-			if x == cx && y == cy {
-				tt.Counts[ci]++
+			tt.byI[i] = append(tt.byI[i], resolvedCell{x: cx, y: cy, ci: uint16(ci)})
+			tt.mask[i][cx>>6] |= 1 << (cx & 63)
+		}
+	}
+	tt.prepared = true
+}
+
+// Window implements Sink; the window layout matches LongTermDigraphs. The
+// walk is the targeted-counting bound: each position costs one bitmap test
+// (8 KB of masks, cache-resident), and only the ~1% of positions whose
+// first byte matches some cell's reach the short resolved-cell scan.
+func (tt *TargetedLongTerm) Window(win []byte) {
+	if !tt.prepared {
+		tt.prepare()
+	}
+	for r := 0; r < 256; r++ {
+		x := win[r]
+		if tt.mask[r][x>>6]&(1<<(x&63)) == 0 {
+			continue
+		}
+		y := win[r+1]
+		for _, rc := range tt.byI[r] {
+			if rc.x == x && rc.y == y {
+				tt.Counts[rc.ci]++
 			}
 		}
 	}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceTargetedWindow is the pre-index TargetedLongTerm.Window walk
+// (every position compared against every cell), kept as the pinning
+// reference for the bitmap-indexed fast path.
+func referenceTargetedWindow(cells []LongTermCell, counts []uint64, win []byte) {
+	for r := 0; r < 256; r++ {
+		x, y := win[r], win[r+1]
+		for ci := range cells {
+			cell := &cells[ci]
+			if cell.I >= 0 && cell.I != r {
+				continue
+			}
+			cx, cy := cell.X, cell.Y
+			if cell.XPlusI {
+				cx += byte(r)
+			}
+			if cell.YPlusI {
+				cy += byte(r)
+			}
+			if x == cx && y == cy {
+				counts[ci]++
+			}
+		}
+	}
+}
+
+// table1Cells mirrors the experiments.Table1 cell set — the production
+// consumer of the targeted counter.
+func table1Cells() []LongTermCell {
+	return []LongTermCell{
+		{I: 1, X: 0, Y: 0},
+		{I: -1, X: 0, Y: 0},
+		{I: -1, X: 0, Y: 1},
+		{I: -1, X: 0, Y: 1, YPlusI: true},
+		{I: -1, X: 1, Y: 255, XPlusI: true},
+		{I: 2, X: 129, Y: 129},
+		{I: -1, X: 255, Y: 1, YPlusI: true},
+		{I: -1, X: 255, Y: 2, YPlusI: true},
+		{I: 254, X: 255, Y: 0},
+		{I: 255, X: 255, Y: 1},
+		{I: -1, X: 255, Y: 255},
+	}
+}
+
+// TestTargetedWindowMatchesReference pins the indexed fast path against the
+// exhaustive per-cell walk on random windows and on windows engineered to
+// hit the biased cells, for the Table 1 cell set and for adversarial cell
+// sets (duplicates, wraparound XPlusI/YPlusI, fixed-I).
+func TestTargetedWindowMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	cellSets := [][]LongTermCell{
+		table1Cells(),
+		{},                   // empty cell set
+		{{I: 0, X: 0, Y: 0}}, // single fixed-I cell at the carry slot
+		{{I: -1, X: 5, Y: 200, XPlusI: true, YPlusI: true}}, // both wrap
+		{{I: -1, X: 7, Y: 7}, {I: -1, X: 7, Y: 7}},          // duplicate cells
+		{{I: 3, X: 9, Y: 9}, {I: -1, X: 12, Y: 1, XPlusI: true}},
+	}
+	for si, cells := range cellSets {
+		tt := &TargetedLongTerm{Cells: append([]LongTermCell(nil), cells...), Counts: make([]uint64, len(cells))}
+		ref := make([]uint64, len(cells))
+		win := make([]byte, 257)
+		for trial := 0; trial < 200; trial++ {
+			switch trial % 3 {
+			case 0: // uniform random
+				rng.Read(win)
+			case 1: // heavy in the cells' byte values
+				for i := range win {
+					win[i] = []byte{0, 1, 255, 129, 2, 64}[rng.Intn(6)]
+				}
+			default: // plant exact cell hits at random positions
+				rng.Read(win)
+				for k := 0; k < 8 && len(cells) > 0; k++ {
+					c := cells[rng.Intn(len(cells))]
+					r := rng.Intn(256)
+					if c.I >= 0 {
+						r = c.I
+					}
+					cx, cy := c.X, c.Y
+					if c.XPlusI {
+						cx += byte(r)
+					}
+					if c.YPlusI {
+						cy += byte(r)
+					}
+					win[r], win[r+1] = cx, cy
+				}
+			}
+			tt.Window(win)
+			referenceTargetedWindow(cells, ref, win)
+		}
+		for ci := range cells {
+			if tt.Counts[ci] != ref[ci] {
+				t.Errorf("cell set %d cell %d: fast %d, reference %d", si, ci, tt.Counts[ci], ref[ci])
+			}
+		}
+		if tt.Pairs != 200*256 {
+			t.Errorf("cell set %d: pairs = %d", si, tt.Pairs)
+		}
+	}
+}

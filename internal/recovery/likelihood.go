@@ -92,28 +92,65 @@ func (l *ByteLikelihoods) Best() byte {
 // L[µ] = Σ_c counts[c] · log dist[c ⊕ µ] — the log-probability of the
 // induced keystream distribution N^µ (eq. 10) under the model.
 func SingleByteLikelihoods(counts *[256]uint64, dist []float64) (*ByteLikelihoods, error) {
+	logp, err := LogDistribution(dist)
+	if err != nil {
+		return nil, err
+	}
+	out := new(ByteLikelihoods)
+	SingleByteLikelihoodsFromLog(out, counts[:], logp)
+	return out, nil
+}
+
+// LogDistribution validates a 256-entry probability vector and returns its
+// element-wise logarithm. Likelihood passes that repeat over growing
+// evidence (the online runtime decodes at every cadence point) compute this
+// once per distribution and reuse it via SingleByteLikelihoodsFromLog; the
+// model distributions never change mid-attack.
+func LogDistribution(dist []float64) (*[256]float64, error) {
 	if len(dist) != 256 {
 		return nil, errors.New("recovery: keystream distribution must have 256 entries")
 	}
-	var logp [256]float64
+	logp := new([256]float64)
 	for k, p := range dist {
 		if p <= 0 {
 			return nil, errors.New("recovery: keystream distribution has non-positive entry")
 		}
 		logp[k] = math.Log(p)
 	}
-	var out ByteLikelihoods
-	for mu := 0; mu < 256; mu++ {
-		var sum float64
-		for c := 0; c < 256; c++ {
-			n := counts[c]
-			if n != 0 {
-				sum += float64(n) * logp[c^mu]
-			}
+	return logp, nil
+}
+
+// SingleByteLikelihoodsFromLog accumulates eq. 11/12 into out (adding to
+// whatever out already holds — callers combining per-class evidence under
+// eq. 25 sum in place) from raw counts and a precomputed log distribution.
+// counts must have 256 entries.
+//
+// The kernel runs four µ values per pass of the count row: each µ keeps its
+// own accumulator summing in the same c order as the scalar loop, so every
+// output is bitwise identical to the scalar result — including zero-count
+// terms, whose ±0 contribution is an additive identity for every reachable
+// partial sum (partial sums are +0 or negative, logp being ≤ 0) — while the
+// four independent chains hide the floating-point add latency the scalar
+// loop serializes on.
+func SingleByteLikelihoodsFromLog(out *ByteLikelihoods, counts []uint64, logp *[256]float64) {
+	counts = counts[:256]
+	for mu := 0; mu < 256; mu += 4 {
+		var s0, s1, s2, s3 float64
+		for c, cnt := range counts {
+			n := float64(cnt)
+			k := (c ^ mu) & 255
+			// µ+1..µ+3 differ from µ only in the low two bits, so their
+			// indices are k^1, k^2, k^3 — the same aligned 4-group of logp.
+			s0 += n * logp[k]
+			s1 += n * logp[k^1]
+			s2 += n * logp[k^2]
+			s3 += n * logp[k^3]
 		}
-		out[mu] = sum
+		out[mu] += s0
+		out[mu+1] += s1
+		out[mu+2] += s2
+		out[mu+3] += s3
 	}
-	return &out, nil
 }
 
 // PairLikelihoodsNaive computes the full eq. 13 double-byte likelihood:
@@ -166,17 +203,30 @@ type BiasedCell struct {
 // and the constant |C| log u is dropped. With |cells| ≈ 10 this is the
 // paper's "roughly 2^19 operations instead of 2^32".
 func PairLikelihoodsSparse(hist []uint64, cells []BiasedCell, u float64) (*PairLikelihoods, error) {
+	out := new(PairLikelihoods)
+	if err := PairLikelihoodsSparseInto(out, hist, cells, u); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PairLikelihoodsSparseInto is PairLikelihoodsSparse writing into a
+// caller-owned table (overwritten, not accumulated) — the allocation-free
+// form for repeated decodes over growing evidence. Each 65536-cell table is
+// half a megabyte; the online runtime recomputes one per chain link at
+// every cadence point, so the tables must be reused, not reallocated.
+func PairLikelihoodsSparseInto(out *PairLikelihoods, hist []uint64, cells []BiasedCell, u float64) error {
 	if len(hist) != 65536 {
-		return nil, errors.New("recovery: histogram must have 65536 entries")
+		return errors.New("recovery: histogram must have 65536 entries")
 	}
 	if u <= 0 {
-		return nil, errors.New("recovery: non-positive uniform probability")
+		return errors.New("recovery: non-positive uniform probability")
 	}
 	logu := math.Log(u)
-	out := new(PairLikelihoods)
+	*out = PairLikelihoods{}
 	for _, cell := range cells {
 		if cell.P <= 0 {
-			return nil, errors.New("recovery: non-positive cell probability")
+			return errors.New("recovery: non-positive cell probability")
 		}
 		w := math.Log(cell.P) - logu
 		for mu1 := 0; mu1 < 256; mu1++ {
@@ -191,18 +241,27 @@ func PairLikelihoodsSparse(hist []uint64, cells []BiasedCell, u float64) (*PairL
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FMPairLikelihoods computes the double-byte likelihood at PRGA counter i
 // using the long-term Fluhrer–McGrew model via the sparse eq. 15 path.
 func FMPairLikelihoods(hist []uint64, i int) (*PairLikelihoods, error) {
+	out := new(PairLikelihoods)
+	if err := FMPairLikelihoodsInto(out, hist, i); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FMPairLikelihoodsInto is FMPairLikelihoods into a caller-owned table.
+func FMPairLikelihoodsInto(out *PairLikelihoods, hist []uint64, i int) error {
 	fm := biases.FMCells(i)
 	cells := make([]BiasedCell, len(fm))
 	for n, c := range fm {
 		cells[n] = BiasedCell{K1: c.X, K2: c.Y, P: c.P}
 	}
-	return PairLikelihoodsSparse(hist, cells, biases.UPair)
+	return PairLikelihoodsSparseInto(out, hist, cells, biases.UPair)
 }
 
 // ABSABPairLikelihoods computes eq. 17–24: the likelihood of the plaintext

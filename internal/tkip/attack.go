@@ -28,6 +28,13 @@ type Attack struct {
 	// frames came from; it rides along in snapshots so an exact-mode
 	// resume against a different stream can be rejected.
 	Stream snapshot.StreamInfo
+
+	// logDist caches the per-(position, class) log model distributions,
+	// indexed [pi*256+class]. The model is immutable for the attack's
+	// lifetime, but Likelihoods is re-run at every online decode point;
+	// without the cache each pass recomputes 256 logarithms per (position,
+	// class) pair — ~0.8M per pass at trailer scale.
+	logDist []*[256]float64
 }
 
 // NewAttack prepares an attack over the given keystream positions, which
@@ -68,35 +75,84 @@ func (a *Attack) ObserveKeystreamSample(tsc0 byte, pi int, z, pt byte) {
 // AddFrameCount is used with ObserveKeystreamSample to keep Frames correct.
 func (a *Attack) AddFrameCount(n uint64) { a.Frames += n }
 
+// logDistributions lazily builds the per-(position, class) log-distribution
+// cache, fanned over the Workers pool (positions are independent).
+func (a *Attack) logDistributions() error {
+	if a.logDist != nil {
+		return nil
+	}
+	ld := make([]*[256]float64, len(a.Positions)*256)
+	err := dataset.ForShards(a.Workers, len(a.Positions), func(pi int) error {
+		pos := a.Positions[pi]
+		for class := 0; class < 256; class++ {
+			logp, err := recovery.LogDistribution(a.Model.Distribution(byte(class), pos))
+			if err != nil {
+				return err
+			}
+			ld[pi*256+class] = logp
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	a.logDist = ld
+	return nil
+}
+
 // Likelihoods computes the per-position single-byte log-likelihoods by
 // combining per-TSC evidence: the §5.1 product over TSC classes of the
-// per-class likelihood (a sum in log space).
+// per-class likelihood (a sum in log space). Positions are independent, so
+// the pass fans them over the Workers pool; within a position the classes
+// accumulate in class order, so the result is bitwise identical for any
+// worker count (and to the historical sequential pass).
 func (a *Attack) Likelihoods() ([]*recovery.ByteLikelihoods, error) {
-	out := make([]*recovery.ByteLikelihoods, len(a.Positions))
-	for pi, pos := range a.Positions {
+	if err := a.logDistributions(); err != nil {
+		return nil, err
+	}
+	np := len(a.Positions)
+	out := make([]*recovery.ByteLikelihoods, np)
+	err := dataset.ForShards(a.Workers, np, func(pi int) error {
 		total := new(recovery.ByteLikelihoods)
 		for class := 0; class < 256; class++ {
-			base := class*len(a.Positions)*256 + pi*256
-			var cnt [256]uint64
-			var any bool
-			for v := 0; v < 256; v++ {
-				cnt[v] = a.counts[base+v]
-				any = any || cnt[v] != 0
+			base := class*np*256 + pi*256
+			row := a.counts[base : base+256]
+			any := false
+			for _, n := range row {
+				if n != 0 {
+					any = true
+					break
+				}
 			}
 			if !any {
 				continue
 			}
-			l, err := recovery.SingleByteLikelihoods(&cnt, a.Model.Distribution(byte(class), pos))
-			if err != nil {
-				return nil, err
-			}
-			for v := 0; v < 256; v++ {
-				total[v] += l[v]
-			}
+			recovery.SingleByteLikelihoodsFromLog(total, row, a.logDist[pi*256+class])
 		}
 		out[pi] = total
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// Observed reports the frames folded into the statistics — the online
+// runtime's progress counter.
+func (a *Attack) Observed() uint64 { return a.Frames }
+
+// Decode returns a lazy best-first candidate source over the attacked
+// positions — the online runtime's decode step. The source enumerates the
+// full space on demand; the caller bounds the walk (max is advisory here,
+// unlike the cookie attack's materialized list-Viterbi).
+func (a *Attack) Decode(max int) (recovery.CandidateSource, error) {
+	_ = max
+	lks, err := a.Likelihoods()
+	if err != nil {
+		return nil, err
+	}
+	return recovery.NewSingleByteEnumerator(lks)
 }
 
 // RecoverTrailer runs the §5.3 candidate search: the attacked positions are

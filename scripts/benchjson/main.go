@@ -1,0 +1,21 @@
+// Command benchjson converts `go test -bench` text output on stdin to
+// machine-readable JSON on stdout, so CI bench runs accumulate as diffable
+// perf-trajectory files:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x ./... | tee bench.txt
+//	go run ./scripts/benchjson < bench.txt > BENCH_pr3.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rc4break/internal/cliutil"
+)
+
+func main() {
+	if err := cliutil.WriteBenchJSON(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

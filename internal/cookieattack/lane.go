@@ -1,0 +1,28 @@
+package cookieattack
+
+import (
+	"math/rand"
+
+	"rc4break/internal/snapshot"
+)
+
+// CollectLane runs one fleet worker's model-mode collect loop: a fresh
+// evidence accumulator for the given request layout, filled with `records`
+// simulated observations drawn from the lane's own RNG stream and stamped
+// with the lane's stream identity. Lane evidence is a pure function of
+// (config, secret, laneSeed, records) — a worker that dies mid-lane loses
+// nothing but time, because whoever re-captures the lane after the lease
+// expires reproduces it byte for byte.
+func CollectLane(cfg Config, secret []byte, stream snapshot.StreamInfo, laneSeed int64, records uint64, workers int) (*Attack, error) {
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.Workers = workers
+	a.Stream = stream
+	rng := rand.New(rand.NewSource(laneSeed))
+	if err := a.SimulateStatistics(rng, secret, records); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

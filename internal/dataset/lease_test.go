@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLaneLedgerLeaseOrderAndComplete(t *testing.T) {
+	l := NewLaneLedger(3)
+	now := time.Unix(1000, 0)
+	ttl := time.Minute
+
+	// Lanes are granted lowest-first.
+	for want := uint64(0); want < 3; want++ {
+		lane, ok := l.Lease("w", now, ttl)
+		if !ok || lane != want {
+			t.Fatalf("lease %d: got (%d, %v)", want, lane, ok)
+		}
+	}
+	if _, ok := l.Lease("w", now, ttl); ok {
+		t.Fatal("lease granted with all lanes taken")
+	}
+
+	if err := l.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Complete(1); err == nil {
+		t.Fatal("double-complete accepted")
+	}
+	if err := l.Complete(99); err == nil {
+		t.Fatal("out-of-range lane accepted")
+	}
+	if l.Done() {
+		t.Fatal("ledger done with lanes outstanding")
+	}
+	if avail, leased, done := l.Counts(); avail != 0 || leased != 2 || done != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 0/2/1", avail, leased, done)
+	}
+}
+
+func TestLaneLedgerExpiryReclaim(t *testing.T) {
+	l := NewLaneLedger(2)
+	now := time.Unix(1000, 0)
+	ttl := time.Minute
+
+	lane, _ := l.Lease("dead-worker", now, ttl)
+	if lane != 0 {
+		t.Fatalf("lane = %d", lane)
+	}
+	l.Lease("live-worker", now, ttl)
+
+	// Before expiry nothing comes back.
+	if got := l.Reclaim(now.Add(30 * time.Second)); len(got) != 0 {
+		t.Fatalf("reclaimed %v before expiry", got)
+	}
+	// The dead worker completes nothing; after its TTL both leases expire
+	// but only lane 0 is still leased once lane 1 completed.
+	if err := l.Complete(1); err != nil {
+		t.Fatal(err)
+	}
+	got := l.Reclaim(now.Add(2 * time.Minute))
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("reclaimed %v, want [0]", got)
+	}
+	// The reclaimed lane is re-leasable by another worker.
+	lane, ok := l.Lease("rejoined", now.Add(2*time.Minute), ttl)
+	if !ok || lane != 0 {
+		t.Fatalf("re-lease got (%d, %v)", lane, ok)
+	}
+	if err := l.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Done() {
+		t.Fatal("ledger not done with all lanes complete")
+	}
+}
+
+func TestLaneLedgerRelease(t *testing.T) {
+	l := NewLaneLedger(1)
+	now := time.Unix(0, 0)
+	l.Lease("a", now, time.Minute)
+
+	// A non-owner's release is ignored; the owner's returns the lane.
+	l.Release(0, "b")
+	if l.State(0) != LaneLeased {
+		t.Fatal("non-owner release took the lane")
+	}
+	l.Release(0, "a")
+	if l.State(0) != LaneAvailable {
+		t.Fatal("owner release did not return the lane")
+	}
+}

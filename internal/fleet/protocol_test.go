@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"rc4break/internal/cliutil"
+	"rc4break/internal/cookieattack"
+	"rc4break/internal/httpmodel"
+	"rc4break/internal/netsim"
+	"rc4break/internal/snapshot"
+)
+
+// rpcConn drives the wire protocol by hand — the tests that pin what the
+// coordinator accepts and rejects at the RPC layer, independent of the
+// Worker loop's behavior.
+type rpcConn struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func (r *rpcConn) send(kind string, v any) {
+	r.t.Helper()
+	if err := writeMsg(r.conn, kind, v); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *rpcConn) recv() (string, []byte) {
+	r.t.Helper()
+	kind, payload, err := readMsg(r.conn)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return kind, payload
+}
+
+func decode[T any](t *testing.T, payload []byte) T {
+	t.Helper()
+	var v T
+	if err := snapshot.DecodeGob(payload, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestEvidenceRPCRejections pins the upload validation: duplicate lane
+// uploads, stream identity mismatches, wrong record counts, and foreign
+// fingerprints are all refused at the RPC layer — the networked equivalents
+// of the checks the offline -merge path applies.
+func TestEvidenceRPCRejections(t *testing.T) {
+	const secret = "C00kie8+"
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cookieattack.Config{
+		CookieLen:   len(secret),
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	}
+	pool, err := cookieattack.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := JobSpec{
+		Attack:      "cookie",
+		Mode:        "model",
+		Seed:        3,
+		Budget:      4 << 10,
+		LaneRecords: 1 << 10,
+		Fingerprint: pool.Fingerprint(),
+	}
+	coord, err := NewCoordinator(Config{
+		Job:      job,
+		Pool:     &CookiePool{Attack: pool},
+		Oracle:   &netsim.CookieServer{Secret: []byte(secret)},
+		LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(l)
+	defer coord.Close()
+
+	// A worker with a foreign attack fingerprint is turned away at Hello.
+	badConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &rpcConn{t: t, conn: badConn}
+	bad.send(kindHello, Hello{Worker: "imposter", Fingerprint: [16]byte{0xbd}})
+	if kind, payload := bad.recv(); kind != kindStop {
+		t.Fatalf("foreign fingerprint got %q, want stop", kind)
+	} else if st := decode[Stop](t, payload); !strings.Contains(st.Reason, "fingerprint") {
+		t.Fatalf("stop reason %q does not name the fingerprint", st.Reason)
+	}
+	badConn.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rpc := &rpcConn{t: t, conn: conn}
+
+	rpc.send(kindHello, Hello{Worker: "w", Fingerprint: job.Fingerprint})
+	if kind, _ := rpc.recv(); kind != kindWelcome {
+		t.Fatalf("hello got %q", kind)
+	}
+
+	lease := func() Lease {
+		rpc.send(kindLeaseRequest, LeaseRequest{Worker: "w"})
+		kind, payload := rpc.recv()
+		if kind != kindLease {
+			t.Fatalf("lease request got %q", kind)
+		}
+		return decode[Lease](t, payload)
+	}
+	collect := func(ls Lease) []byte {
+		a, err := cookieattack.CollectLane(cfg, []byte(secret), ls.Stream,
+			cliutil.LaneSeed(job.Seed, ls.Lane), ls.Records, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := a.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	upload := func(ev Evidence) Ack {
+		rpc.send(kindEvidence, ev)
+		kind, payload := rpc.recv()
+		if kind != kindAck {
+			t.Fatalf("evidence got %q", kind)
+		}
+		return decode[Ack](t, payload)
+	}
+
+	// A clean lane upload is acked.
+	ls0 := lease()
+	if ls0.Lane != 0 || ls0.Records != 1<<10 {
+		t.Fatalf("first lease = %+v", ls0)
+	}
+	ev0 := Evidence{Worker: "w", Lane: ls0.Lane, Stream: ls0.Stream, Records: ls0.Records, Snapshot: collect(ls0)}
+	if ack := upload(ev0); !ack.OK {
+		t.Fatalf("clean upload rejected: %s", ack.Err)
+	}
+
+	// The same lane again — the late twin of a re-leased lane — is a
+	// duplicate, rejected like the -merge path rejects a same-stream shard.
+	if ack := upload(ev0); ack.OK || !strings.Contains(ack.Err, "duplicate") {
+		t.Fatalf("duplicate upload: ok=%v err=%q", ack.OK, ack.Err)
+	}
+
+	// An upload whose declared stream is another lane's does not match its
+	// lease and is refused before any decoding happens.
+	ls1 := lease()
+	ev := Evidence{Worker: "w", Lane: ls1.Lane, Stream: ls0.Stream, Records: ls1.Records, Snapshot: collect(ls1)}
+	if ack := upload(ev); ack.OK || !strings.Contains(ack.Err, "does not match the lease") {
+		t.Fatalf("mismatched stream: ok=%v err=%q", ack.OK, ack.Err)
+	}
+
+	// A record count differing from the lease is refused.
+	ev = Evidence{Worker: "w", Lane: ls1.Lane, Stream: ls1.Stream, Records: ls1.Records - 1, Snapshot: collect(ls1)}
+	if ack := upload(ev); ack.OK || !strings.Contains(ack.Err, "lease specified") {
+		t.Fatalf("short count: ok=%v err=%q", ack.OK, ack.Err)
+	}
+
+	// A snapshot whose own stream stamp disagrees with the envelope header
+	// fails pool validation.
+	wrong := Lease{Lane: ls1.Lane, Records: ls1.Records, Stream: job.LaneStream(3)}
+	ev = Evidence{Worker: "w", Lane: ls1.Lane, Stream: ls1.Stream, Records: ls1.Records, Snapshot: collect(wrong)}
+	if ack := upload(ev); ack.OK || !strings.Contains(ack.Err, "snapshot invalid") {
+		t.Fatalf("stamp mismatch: ok=%v err=%q", ack.OK, ack.Err)
+	}
+
+	// The honest retry of lane 1 still lands.
+	ev = Evidence{Worker: "w", Lane: ls1.Lane, Stream: ls1.Stream, Records: ls1.Records, Snapshot: collect(ls1)}
+	if ack := upload(ev); !ack.OK {
+		t.Fatalf("honest retry rejected: %s", ack.Err)
+	}
+
+	// A released lane comes back immediately: the next lease re-grants it
+	// without waiting out the TTL.
+	ls2 := lease()
+	rpc.send(kindRelease, Release{Worker: "w", Lane: ls2.Lane})
+	if kind, payload := rpc.recv(); kind != kindAck {
+		t.Fatalf("release got %q", kind)
+	} else if ack := decode[Ack](t, payload); !ack.OK {
+		t.Fatalf("release rejected: %s", ack.Err)
+	}
+	if again := lease(); again.Lane != ls2.Lane {
+		t.Fatalf("re-lease after release got lane %d, want %d", again.Lane, ls2.Lane)
+	}
+
+	if uploads, rejected, done := coord.Stats(); uploads != 2 || rejected != 4 || done != 2 {
+		t.Fatalf("stats = %d uploads, %d rejected, %d lanes done; want 2/4/2", uploads, rejected, done)
+	}
+}
+
+// TestJobSpecLanes pins the lane geometry: rounding up, final-lane clamping.
+func TestJobSpecLanes(t *testing.T) {
+	j := JobSpec{Budget: 2500, LaneRecords: 1000}
+	if j.Lanes() != 3 {
+		t.Fatalf("lanes = %d", j.Lanes())
+	}
+	if start, n := j.LaneExtent(0); start != 0 || n != 1000 {
+		t.Fatalf("lane 0 extent = %d+%d", start, n)
+	}
+	if start, n := j.LaneExtent(2); start != 2000 || n != 500 {
+		t.Fatalf("lane 2 extent = %d+%d", start, n)
+	}
+	s := j.LaneStream(2)
+	if s.Lane != 2 {
+		t.Fatalf("lane stream = %+v", s)
+	}
+}

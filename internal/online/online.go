@@ -12,12 +12,15 @@
 //
 // The runtime is attack-agnostic: cookieattack.Attack and tkip.Attack both
 // implement Decoder, and netsim.CookieServer / tkip.TrailerOracle implement
-// Oracle. Capture is delegated through CaptureTo, so exact-mode drivers
-// compose the runtime with cliutil.CheckpointLoop (checkpointed, SIGINT-
-// safe, resumable mid-cadence — decode points are absolute observation
-// counts, so a resumed run lands on exactly the cadence an uninterrupted
-// run would use) while model-mode drivers draw each chunk's sufficient
-// statistics in one shot.
+// Oracle. Evidence arrives through a pluggable Feed: in-process capturers
+// use the CaptureTo function form (exact-mode drivers compose it with
+// cliutil.CheckpointLoop — checkpointed, SIGINT-safe, resumable mid-cadence
+// — and model-mode drivers draw each chunk's sufficient statistics in one
+// shot), while the fleet coordinator implements Feed directly, blocking
+// until enough worker lanes have merged. Decode points are absolute
+// observation counts, so a resumed run lands on exactly the cadence an
+// uninterrupted run would use, and a feed that overshoots a point (whole-
+// lane granularity) simply decodes at the overshot count.
 package online
 
 import (
@@ -47,6 +50,23 @@ type Decoder interface {
 type Oracle interface {
 	Check(candidate []byte) bool
 }
+
+// Feed supplies evidence between decode rounds — the pluggable replacement
+// for an in-process capturer. AdvanceTo blocks until the decoder's evidence
+// covers at least target observations. A feed may overshoot the target (a
+// fleet coordinator merges whole worker lanes, so evidence advances in lane
+// granules); Run then decodes at the actual observed count, and the cadence
+// — whose points are absolute — simply skips past any overshot points.
+type Feed interface {
+	AdvanceTo(target uint64) error
+}
+
+// FeedFunc adapts a capture function to the Feed interface — the shape the
+// in-process drivers already use via Config.CaptureTo.
+type FeedFunc func(target uint64) error
+
+// AdvanceTo implements Feed.
+func (f FeedFunc) AdvanceTo(target uint64) error { return f(target) }
 
 // DefaultFirstDecode is the default first decode point: early enough to
 // catch strong-evidence runs, late enough that the first list is not pure
@@ -118,10 +138,14 @@ type Config struct {
 	// DefaultMaxCandidates.
 	MaxCandidates int
 	// Budget is the maximum total observations. The final decode runs at
-	// exactly Budget; if it too fails the run returns ErrBudgetExhausted.
+	// Budget (or wherever the feed's last granule lands at or past it); if
+	// it too fails the run returns ErrBudgetExhausted.
 	Budget uint64
-	// CaptureTo advances the evidence to exactly target observations
-	// (Decoder.Observed() == target on return).
+	// Feed advances the evidence to at least the target observation count.
+	// Exactly one of Feed and CaptureTo must be set.
+	Feed Feed
+	// CaptureTo is the function form of Feed, kept for in-process capturers
+	// that land exactly on the target; ignored when Feed is set.
 	CaptureTo func(target uint64) error
 	// Checkpoint, when non-nil, runs after every unsuccessful decode round
 	// — with snapshot-backed decoders this makes the run resumable
@@ -160,8 +184,12 @@ var ErrBudgetExhausted = errors.New("online: observation budget exhausted withou
 // Run drives the closed loop: capture to the next cadence point, decode,
 // walk the list against the oracle, stop at the first confirmed hit.
 func Run(cfg Config) (Result, error) {
-	if cfg.Decoder == nil || cfg.Oracle == nil || cfg.CaptureTo == nil {
-		return Result{}, errors.New("online: Decoder, Oracle and CaptureTo are required")
+	feed := cfg.Feed
+	if feed == nil && cfg.CaptureTo != nil {
+		feed = FeedFunc(cfg.CaptureTo)
+	}
+	if cfg.Decoder == nil || cfg.Oracle == nil || feed == nil {
+		return Result{}, errors.New("online: Decoder, Oracle and an evidence Feed (or CaptureTo) are required")
 	}
 	if cfg.Budget == 0 {
 		return Result{}, errors.New("online: zero observation budget")
@@ -175,23 +203,26 @@ func Run(cfg Config) (Result, error) {
 	rejected := make(map[string]struct{})
 	for {
 		target := cfg.Cadence.Next(cfg.Decoder.Observed())
-		last := target >= cfg.Budget
-		if last {
+		if target > cfg.Budget {
 			target = cfg.Budget
 		}
 		if target > cfg.Decoder.Observed() {
 			t0 := time.Now()
-			if err := cfg.CaptureTo(target); err != nil {
+			if err := feed.AdvanceTo(target); err != nil {
 				res.Observed = cfg.Decoder.Observed()
 				return res, err
 			}
 			res.CaptureTime += time.Since(t0)
-			if got := cfg.Decoder.Observed(); got != target {
+			if got := cfg.Decoder.Observed(); got < target {
 				res.Observed = got
 				return res, fmt.Errorf("online: capture stopped at %d of %d observations", got, target)
 			}
 		}
+		// The feed may have overshot the cadence point (whole-lane granules);
+		// the decode sees whatever was actually observed, and the run ends
+		// once the budget is covered.
 		res.Observed = cfg.Decoder.Observed()
+		last := res.Observed >= cfg.Budget
 
 		res.Rounds++
 		t0 := time.Now()
@@ -211,7 +242,7 @@ func Run(cfg Config) (Result, error) {
 			return res, nil
 		}
 		if cfg.Logf != nil {
-			cfg.Logf("round %d at %d observations: %d candidates, no oracle hit", res.Rounds, target, walked)
+			cfg.Logf("round %d at %d observations: %d candidates, no oracle hit", res.Rounds, res.Observed, walked)
 		}
 		if cfg.Checkpoint != nil {
 			if err := cfg.Checkpoint(); err != nil {

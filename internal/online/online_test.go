@@ -145,6 +145,46 @@ func TestRunBudgetExhausted(t *testing.T) {
 	}
 }
 
+// granuleFeed advances evidence in fixed granules, overshooting targets the
+// way a fleet coordinator merging whole worker lanes does.
+type granuleFeed struct {
+	dec     *fakeDecoder
+	granule uint64
+}
+
+func (f *granuleFeed) AdvanceTo(target uint64) error {
+	for f.dec.observed < target {
+		f.dec.observed += f.granule
+	}
+	return nil
+}
+
+// TestRunFeedOvershoot pins the pluggable-feed contract: a feed that lands
+// past the cadence point decodes at the actual observed count, skips cadence
+// points the overshoot already covered, and finishes once the budget is
+// covered even if the final granule lands beyond it.
+func TestRunFeedOvershoot(t *testing.T) {
+	truth := []byte("never-found")
+	dec := &fakeDecoder{revealAt: 1 << 30, trueRank: 1, truth: truth}
+	res, err := online.Run(online.Config{
+		Decoder:       dec,
+		Oracle:        &fakeOracle{truth: truth},
+		Cadence:       online.Cadence{First: 1000},
+		MaxCandidates: 4,
+		Budget:        3000,
+		Feed:          &granuleFeed{dec: dec, granule: 700},
+	})
+	if !errors.Is(err, online.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// Granules of 700: decode at 1400 (target 1000), 2100 (target 2000 —
+	// the overshoot already skipped it past 1400's next point), then 3500
+	// (budget-clamped target 3000), which covers the budget and ends the run.
+	if res.Rounds != 3 || res.Observed != 3500 || dec.decodes != 3 {
+		t.Fatalf("rounds=%d observed=%d decodes=%d, want 3/3500/3", res.Rounds, res.Observed, dec.decodes)
+	}
+}
+
 func TestRunCaptureErrorPropagates(t *testing.T) {
 	dec := &fakeDecoder{truth: []byte("x")}
 	boom := errors.New("boom")

@@ -155,6 +155,28 @@ func WriteGob(w io.Writer, kind string, v any) error {
 	return Write(w, kind, buf.Bytes())
 }
 
+// EncodeGob gob-encodes v into a standalone payload — the producer half of
+// the wire framing: a network peer sends the payload inside an envelope
+// (Write), and the receiver dispatches on the envelope kind before decoding
+// (DecodeGob).
+func EncodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeGob decodes an envelope payload previously produced by EncodeGob or
+// WriteGob. It exists for readers that must inspect the envelope kind before
+// choosing a destination type — the RPC pattern: Read the envelope, switch
+// on kind, DecodeGob into the matching message struct. The envelope is
+// already self-delimiting (length-prefixed) and checksummed, so one envelope
+// per message is the repository's whole wire protocol.
+func DecodeGob(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}
+
 // ReadGob reads one envelope, checks it carries wantKind, and gob-decodes
 // the payload into v.
 func ReadGob(r io.Reader, wantKind string, v any) error {
@@ -237,6 +259,12 @@ func Sniff(r io.Reader) (replay io.Reader, isEnvelope bool, err error) {
 type StreamInfo struct {
 	Mode string // "exact" | "model" | "" (unset / library-level use)
 	Seed int64
+	// Lane subdivides one (Mode, Seed) stream into disjoint capture lanes —
+	// the fleet coordinator leases lane k of a stream to one worker at a
+	// time, and duplicate-upload rejection compares the full identity
+	// including the lane. Zero for whole-stream shards (gob omits zero
+	// fields, so pre-lane snapshots decode and encode identically).
+	Lane uint64
 }
 
 // Fingerprint is a stable 16-byte digest of a gob-encodable configuration

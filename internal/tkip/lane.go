@@ -1,0 +1,28 @@
+package tkip
+
+import (
+	"math/rand"
+
+	"rc4break/internal/snapshot"
+)
+
+// CollectLane runs one fleet worker's model-mode collect loop: a fresh
+// capture accumulator over the given positions, filled with `frames`
+// model-sampled captures drawn from the lane's own RNG stream and stamped
+// with the lane's stream identity. Like the cookie-attack counterpart, lane
+// evidence is a pure function of (model, positions, trailer, laneSeed,
+// frames), so an expired lease's re-capture is byte-identical to what the
+// dead worker would have uploaded.
+func CollectLane(model *PerTSCModel, positions []int, trailer []byte, stream snapshot.StreamInfo, laneSeed int64, frames uint64, workers int) (*Attack, error) {
+	a, err := NewAttack(model, positions)
+	if err != nil {
+		return nil, err
+	}
+	a.Workers = workers
+	a.Stream = stream
+	rng := rand.New(rand.NewSource(laneSeed))
+	if err := a.SimulateCaptures(rng, trailer, frames); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

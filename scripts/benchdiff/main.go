@@ -1,0 +1,64 @@
+// Command benchdiff compares two bench-JSON files (the scripts/benchjson /
+// cliutil.ParseBenchOutput format) and prints per-benchmark ns/op deltas,
+// worst regression first. With a nonzero -threshold it exits 1 when any
+// benchmark regressed beyond it — CI wires it warn-only against the
+// committed BENCH_*.json baseline, so perf drift is visible on every run
+// without blocking merges on a noisy shared runner:
+//
+//	go run ./scripts/benchdiff -threshold 0.25 BENCH_pr3.json bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rc4break/internal/cliutil"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "fractional ns/op regression that fails the diff (0 disables the gate)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold F] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := readBench(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	current, err := readBench(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	deltas, onlyBase, onlyCur := cliutil.DiffBench(baseline, current)
+	regressions := cliutil.FormatBenchDiff(os.Stdout, deltas, onlyBase, onlyCur, *threshold)
+	if regressions > 0 {
+		fmt.Printf("%d benchmark(s) regressed more than %.0f%% vs %s\n", regressions, 100**threshold, flag.Arg(0))
+		os.Exit(1)
+	}
+}
+
+func readBench(path string) ([]cliutil.BenchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []cliutil.BenchResult
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

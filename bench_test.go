@@ -8,7 +8,9 @@
 package rc4break
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"rc4break/internal/recovery"
 	"rc4break/internal/tkip"
 	"rc4break/internal/tlsrec"
+	"rc4break/internal/trace"
 )
 
 // BenchmarkTable1FluhrerMcGrew regenerates Table 1: long-term FM digraph
@@ -380,4 +383,108 @@ func BenchmarkEquation9Search(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceIngest measures the trace-ingestion rate in MB/s of
+// capture bytes for both attack pipelines: the TKIP path (pcap → radiotap
+// → 802.11 → TKIP IV → sniffer-style filtering → per-TSC statistics) and
+// the TLS path (pcap → Ethernet/IP/TCP → flow reassembly → TLS record
+// scanning → digraph/ABSAB statistics). The capture is generated once by
+// netsim's writers and re-ingested per iteration; ingest itself streams at
+// O(MB) memory regardless of trace size (TestTraceIngestStreamingMemory
+// pins that on a multi-hundred-MB pipe).
+func BenchmarkTraceIngest(b *testing.B) {
+	b.Run("tkip", func(b *testing.B) {
+		model, err := tkip.Train(tkip.TrainConfig{
+			Positions:  packet.HeaderSize + 7 + tkip.TrailerSize,
+			KeysPerTSC: 8,
+			Master:     [16]byte{0x7A},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		session := tkip.DemoSession()
+		victim := netsim.NewWiFiVictim(session, tkip.DemoPayload)
+		var buf bytes.Buffer
+		pw, err := trace.NewPcapWriter(&buf, trace.LinkTypeRadiotap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fw, err := netsim.NewFrameWriter(pw, trace.LinkTypeRadiotap, session)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const frames = 1 << 16 // ~8 MB of capture
+		if err := victim.WriteTrace(fw, frames); err != nil {
+			b.Fatal(err)
+		}
+		capture := buf.Bytes()
+		b.SetBytes(int64(len(capture)))
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			a, err := tkip.NewAttack(model, tkip.TrailerPositions(packet.HeaderSize+7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats, err := tkip.CollectTraceReaders(a, victim.FrameLen(),
+				[]io.Reader{bytes.NewReader(capture)}, 0, 0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Matched != frames {
+				b.Fatalf("matched %d frames", stats.Matched)
+			}
+		}
+	})
+	b.Run("tls", func(b *testing.B) {
+		const secret = "Secur3C00kieVal+"
+		req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := cookieattack.Config{
+			CookieLen:   16,
+			Offset:      req.CookieOffset(),
+			Plaintext:   req.Marshal(),
+			CounterBase: counterBase,
+			MaxGap:      128,
+			Charset:     httpmodel.CookieCharset(),
+		}
+		master := make([]byte, 48)
+		rand.New(rand.NewSource(41)).Read(master)
+		victim, err := netsim.NewHTTPSVictim(master, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		pw, err := trace.NewPcapWriter(&buf, trace.LinkTypeEthernet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sw, err := netsim.NewStreamWriter(pw, trace.LinkTypeEthernet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const records = 1 << 14 // ~10 MB of capture
+		if err := victim.WriteTrace(sw, records); err != nil {
+			b.Fatal(err)
+		}
+		capture := buf.Bytes()
+		b.SetBytes(int64(len(capture)))
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			a, err := cookieattack.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stats, err := cookieattack.CollectTraceReaders(a, victim.RecordPlaintextLen(),
+				[]io.Reader{bytes.NewReader(capture)}, 0, 0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Matched != records {
+				b.Fatalf("matched %d records", stats.Matched)
+			}
+		}
+	})
 }

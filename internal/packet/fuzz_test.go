@@ -1,0 +1,25 @@
+package packet
+
+import "testing"
+
+// FuzzParsers hammers the header parsers with truncated and overlong
+// inputs: no panic, no over-read, and the header-length helpers must
+// never report a length outside the input.
+func FuzzParsers(f *testing.F) {
+	ip := IPv4{TTL: 64, Protocol: 6, SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, Length: 40}.Marshal()
+	tcp := TCP{SrcPort: 80, DstPort: 443, Seq: 7, Flags: 0x18}.Marshal([4]byte{1}, [4]byte{2}, nil)
+	f.Add(ip[:])
+	f.Add(tcp[:])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ParseIPv4(data)
+		_, _ = ParseTCP(data)
+		if n, err := IPv4HeaderLen(data); err == nil && (n < IPv4Size || n > len(data)) {
+			t.Fatalf("IPv4HeaderLen out of range: %d of %d", n, len(data))
+		}
+		if n, err := TCPHeaderLen(data); err == nil && (n < TCPSize || n > len(data)) {
+			t.Fatalf("TCPHeaderLen out of range: %d of %d", n, len(data))
+		}
+		_ = VerifyTCPChecksum(data, [4]byte{}, [4]byte{})
+	})
+}

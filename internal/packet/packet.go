@@ -59,14 +59,31 @@ func (h IPv4) Marshal() [IPv4Size]byte {
 	return b
 }
 
+// Typed parse errors: the trace-ingestion path classifies per-packet
+// failures (count-and-skip versus abort) by identity, and fuzzing pins
+// that no input can panic or over-read past these checks.
+var (
+	// ErrTruncated reports input shorter than the fixed header it claims
+	// to hold.
+	ErrTruncated = errors.New("packet: truncated header")
+	// ErrNotIPv4 reports a version nibble other than 4.
+	ErrNotIPv4 = errors.New("packet: not an IPv4 header")
+	// ErrHeaderLength reports an IHL or TCP data-offset field that is
+	// smaller than the minimum header or runs past the input.
+	ErrHeaderLength = errors.New("packet: header length field out of range")
+)
+
 // ParseIPv4 decodes a 20-byte header. It does not verify the checksum; use
 // checksum.InternetValid for that (the attack does so when pruning).
 func ParseIPv4(b []byte) (IPv4, error) {
 	if len(b) < IPv4Size {
-		return IPv4{}, errors.New("packet: short IPv4 header")
+		return IPv4{}, ErrTruncated
 	}
 	if b[0]>>4 != 4 {
-		return IPv4{}, errors.New("packet: not IPv4")
+		return IPv4{}, ErrNotIPv4
+	}
+	if b[0]&0x0f < 5 {
+		return IPv4{}, ErrHeaderLength
 	}
 	var h IPv4
 	h.Length = binary.BigEndian.Uint16(b[2:4])
@@ -104,10 +121,28 @@ func (h TCP) Marshal(srcIP, dstIP [4]byte, payload []byte) [TCPSize]byte {
 	return b
 }
 
+// IPv4HeaderLen validates and returns the header length the IHL field
+// declares: at least IPv4Size and no longer than the input. Parsers that
+// slice the payload after an (optionally option-bearing) header must use
+// this rather than assuming 20 bytes.
+func IPv4HeaderLen(b []byte) (int, error) {
+	if len(b) < IPv4Size {
+		return 0, ErrTruncated
+	}
+	n := int(b[0]&0x0f) * 4
+	if n < IPv4Size || n > len(b) {
+		return 0, ErrHeaderLength
+	}
+	return n, nil
+}
+
 // ParseTCP decodes a 20-byte TCP header.
 func ParseTCP(b []byte) (TCP, error) {
 	if len(b) < TCPSize {
-		return TCP{}, errors.New("packet: short TCP header")
+		return TCP{}, ErrTruncated
+	}
+	if b[12]>>4 < 5 {
+		return TCP{}, ErrHeaderLength
 	}
 	var h TCP
 	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
@@ -117,6 +152,19 @@ func ParseTCP(b []byte) (TCP, error) {
 	h.Flags = b[13]
 	h.Window = binary.BigEndian.Uint16(b[14:16])
 	return h, nil
+}
+
+// TCPHeaderLen validates and returns the header length the data-offset
+// field declares: at least TCPSize and no longer than the input.
+func TCPHeaderLen(b []byte) (int, error) {
+	if len(b) < TCPSize {
+		return 0, ErrTruncated
+	}
+	n := int(b[12]>>4) * 4
+	if n < TCPSize || n > len(b) {
+		return 0, ErrHeaderLength
+	}
+	return n, nil
 }
 
 // tcpChecksum computes the TCP checksum over pseudo-header, header (with

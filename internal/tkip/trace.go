@@ -1,0 +1,184 @@
+package tkip
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"rc4break/internal/trace"
+)
+
+// This file is the §5.4 collection tool's offline half: fold the
+// TKIP-encrypted MPDUs of a monitor-mode capture (pcap or pcapng,
+// radiotap or bare 802.11) into an Attack's per-TSC statistics. Filtering
+// follows netsim.Sniffer exactly — the injected packet is identified by
+// its unique on-air body length and retransmissions are de-duplicated by
+// TSC ("thanks to the 7-byte payload, we uniquely detected the injected
+// packet ... without any false positives") — so evidence ingested from a
+// capture netsim wrote is bitwise identical to what the in-process sniffer
+// hands the attack.
+
+// ErrTraceShort reports a strict observation-range ingest (a fleet lane)
+// that ran out of capture before the range was filled.
+var ErrTraceShort = errors.New("tkip: capture ended before the requested observation range was filled")
+
+// dedupWindow bounds the TSC de-duplication state: 802.11 retransmissions
+// arrive within a handful of frames of their original, so remembering the
+// last 2^16 accepted TSCs catches every real retry while keeping ingest
+// memory O(MB) on arbitrarily long traces (an unbounded seen-set — what
+// netsim.Sniffer affords in-process — would grow by 8 bytes per frame).
+const dedupWindow = 1 << 16
+
+// TraceStats reports what one ingest pass saw, mirroring the sniffer's
+// captured/dropped split with per-reason detail.
+type TraceStats struct {
+	// Packets counts container records; Frames counts parsed TKIP MPDUs.
+	Packets, Frames uint64
+	// Matched counts frames accepted as observations (unique length,
+	// fresh TSC, unfragmented) — including ones skipped by a range bound.
+	Matched uint64
+	// Duplicates counts retransmissions dropped by TSC; Fragmented counts
+	// fragment MPDUs (FragNum > 0 or MoreFrag) the attack cannot consume
+	// whole; OtherLength counts data frames of non-matching length;
+	// Skipped counts non-TKIP-data frames (management, control,
+	// cleartext, CCMP); Malformed counts frames that end inside their own
+	// headers.
+	Duplicates, Fragmented, OtherLength, Skipped, Malformed uint64
+}
+
+// TraceCollector streams captures into an Attack. The zero range
+// (Start=0, Max=0 meaning unbounded) folds every matching frame in;
+// a fleet lane sets Start/Max to serve one lane's observation extent
+// from a larger trace.
+type TraceCollector struct {
+	Attack *Attack
+	// WantLen is the injected packet's unique encrypted body length
+	// (MSDU plus trailer) — netsim.WiFiVictim.FrameLen.
+	WantLen int
+	// Start and Max bound the accepted-observation range: the first Start
+	// matching frames are skipped (already held by a resumed snapshot, or
+	// owned by earlier lanes) and at most Max are observed (0 = no bound).
+	Start, Max uint64
+	Stats      TraceStats
+
+	accepted uint64
+	seen     map[TSC]struct{}
+	order    []TSC
+	next     int
+}
+
+// Done reports whether a bounded collector has filled its range.
+func (c *TraceCollector) Done() bool {
+	return c.Max != 0 && c.accepted >= c.Start+c.Max
+}
+
+// Ingest drains one capture stream into the attack, stopping early once a
+// bounded range is filled. Multi-file captures call it once per file with
+// the same collector.
+func (c *TraceCollector) Ingest(r *trace.Reader) error {
+	for !c.Done() {
+		pkt, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Stats.Packets++
+		frame := pkt.Data
+		fcs := false
+		switch pkt.LinkType {
+		case trace.LinkTypeRadiotap:
+			frame, fcs, err = trace.SplitRadiotap(frame)
+			if err != nil {
+				c.Stats.Malformed++
+				continue
+			}
+		case trace.LinkTypeIEEE80211:
+		default:
+			return &trace.LinkTypeError{LinkType: pkt.LinkType, Want: "802.11 or radiotap"}
+		}
+		m, err := trace.ParseMPDU(frame, fcs)
+		switch {
+		case err == nil:
+		case errors.Is(err, trace.ErrShortFrame):
+			c.Stats.Malformed++
+			continue
+		default: // management/control/cleartext/CCMP
+			c.Stats.Skipped++
+			continue
+		}
+		c.Stats.Frames++
+		if m.FragNum != 0 || m.MoreFrag {
+			// A fragment's body is not the MSDU ‖ MIC ‖ ICV layout the
+			// attack models; counting it as evidence would poison the
+			// statistics, so fragments are skipped loudly, never folded.
+			c.Stats.Fragmented++
+			continue
+		}
+		if len(m.Body) != c.WantLen {
+			c.Stats.OtherLength++
+			continue
+		}
+		tsc := TSC(m.TSC)
+		if c.dup(tsc) {
+			c.Stats.Duplicates++
+			continue
+		}
+		c.Stats.Matched++
+		idx := c.accepted
+		c.accepted++
+		if idx < c.Start {
+			continue // owned by an earlier lane / already-resumed evidence
+		}
+		c.Attack.Observe(Frame{TSC: tsc, Body: m.Body})
+	}
+	return nil
+}
+
+// dup reports whether the TSC was accepted recently, remembering it
+// otherwise. The window is a ring over a membership set.
+func (c *TraceCollector) dup(t TSC) bool {
+	if c.seen == nil {
+		c.seen = make(map[TSC]struct{}, dedupWindow)
+		c.order = make([]TSC, dedupWindow)
+	}
+	if _, dup := c.seen[t]; dup {
+		return true
+	}
+	if len(c.seen) == dedupWindow {
+		delete(c.seen, c.order[c.next])
+	}
+	c.seen[t] = struct{}{}
+	c.order[c.next] = t
+	c.next = (c.next + 1) % dedupWindow
+	return false
+}
+
+// CollectTraceReaders ingests a sequence of capture streams (one reader
+// per file, in order) into the attack. start skips observations already
+// held (a resume, or earlier lanes); max bounds the newly observed count
+// (0 = everything). strict demands the full range be present — the fleet
+// lane contract — while a non-strict pass accepts whatever the capture
+// holds.
+func CollectTraceReaders(a *Attack, wantLen int, readers []io.Reader, start, max uint64, strict bool) (TraceStats, error) {
+	return collectTrace(a, wantLen, trace.ReaderSources(readers), start, max, strict)
+}
+
+// CollectTraceFiles is CollectTraceReaders over capture files on disk.
+func CollectTraceFiles(a *Attack, wantLen int, paths []string, start, max uint64, strict bool) (TraceStats, error) {
+	return collectTrace(a, wantLen, trace.FileSources(paths), start, max, strict)
+}
+
+// collectTrace is the one ingest loop behind both entry points.
+func collectTrace(a *Attack, wantLen int, sources []trace.Source, start, max uint64, strict bool) (TraceStats, error) {
+	c := &TraceCollector{Attack: a, WantLen: wantLen, Start: start, Max: max}
+	if err := trace.EachSource(sources, c.Done, c.Ingest); err != nil {
+		return c.Stats, err
+	}
+	if strict && !c.Done() {
+		return c.Stats, fmt.Errorf("%w: have %d matching frames, range needs %d",
+			ErrTraceShort, c.accepted, start+max)
+	}
+	return c.Stats, nil
+}

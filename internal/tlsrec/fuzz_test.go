@@ -1,0 +1,54 @@
+package tlsrec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScannerFeed hammers the §6.3 record scanner with arbitrary stream
+// bytes split at an arbitrary chunk size: it must never panic, and the
+// records it delivers must be invariant under re-chunking — the property
+// the TCP reassembler's variable-size delivery leans on.
+func FuzzScannerFeed(f *testing.F) {
+	var rec bytes.Buffer
+	rec.Write([]byte{TypeApplicationData, 3, 3, 0, 4, 'a', 'b', 'c', 'd'})
+	rec.Write([]byte{22, 3, 3, 0, 2, 'h', 's'}) // a handshake record to skip
+	f.Add(rec.Bytes(), uint16(3))
+	f.Add([]byte{TypeApplicationData, 3, 3, 0xFF, 0xFF, 0}, uint16(1)) // oversized length
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint16) {
+		whole := &Scanner{}
+		var wholeOut bytes.Buffer
+		wholeErr := whole.Feed(data, func(body []byte) {
+			wholeOut.Write([]byte{byte(len(body) >> 8), byte(len(body))})
+			wholeOut.Write(body)
+		})
+
+		chunked := &Scanner{}
+		var chunkedOut bytes.Buffer
+		var chunkedErr error
+		step := int(chunk%1024) + 1
+		for off := 0; off < len(data) && chunkedErr == nil; off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			chunkedErr = chunked.Feed(data[off:end], func(body []byte) {
+				chunkedOut.Write([]byte{byte(len(body) >> 8), byte(len(body))})
+				chunkedOut.Write(body)
+			})
+		}
+		// Once either scanner hits the desync error the comparison is over
+		// (the chunked one may have delivered fewer records before it);
+		// short of that, deliveries must be identical.
+		if wholeErr == nil && chunkedErr == nil {
+			if !bytes.Equal(wholeOut.Bytes(), chunkedOut.Bytes()) {
+				t.Fatalf("chunked delivery (%d bytes) differs from whole-stream delivery (%d bytes) at step %d",
+					chunkedOut.Len(), wholeOut.Len(), step)
+			}
+			if whole.Records != chunked.Records || whole.Skipped != chunked.Skipped {
+				t.Fatalf("counters diverge: whole %d/%d, chunked %d/%d",
+					whole.Records, whole.Skipped, chunked.Records, chunked.Skipped)
+			}
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// This file parses monitor-mode 802.11 captures down to TKIP-encrypted
+// MPDUs — the §5.4 collection tool's frame path — and writes the same
+// shape back out, so netsim's simulated victims can produce captures that
+// ingest bitwise-identically to their in-process streams.
+
+// Frame-level classification errors. The soft ones (ErrNotDataFrame,
+// ErrNotProtected, ErrNotTKIP) describe frames any real monitor-mode
+// capture is full of — beacons, ACKs, cleartext, CCMP traffic — which
+// collectors count and skip; ErrShortFrame marks a frame that ends before
+// its own headers do, which collectors count as malformed.
+var (
+	ErrShortFrame   = errors.New("trace: 802.11 frame shorter than its headers")
+	ErrNotDataFrame = errors.New("trace: not an 802.11 data frame carrying a body")
+	ErrNotProtected = errors.New("trace: 802.11 frame is not protected (cleartext)")
+	ErrNotTKIP      = errors.New("trace: protected frame does not carry a TKIP ExtIV header")
+)
+
+// MPDU is one TKIP-encrypted 802.11 data MPDU, parsed far enough for the
+// §5 attack: the cleartext TSC from the IV/ExtIV header, the retry and
+// fragmentation state the sniffer filters on, and the RC4-encrypted body
+// (MSDU ‖ MIC ‖ ICV). Body aliases the packet buffer it was parsed from.
+type MPDU struct {
+	// TSC is the 48-bit TKIP sequence counter from the IV/ExtIV header.
+	TSC uint64
+	// Retry reports the MAC-level retransmission bit: a retry carries the
+	// same TSC as its original, so TSC de-duplication drops it regardless.
+	Retry bool
+	// FragNum and MoreFrag describe 802.11 fragmentation. A fragmented
+	// MSDU's trailer spans MPDUs, so the attack cannot consume fragments
+	// as whole-packet evidence; collectors count and skip them.
+	FragNum  int
+	MoreFrag bool
+	// SeqNum is the 12-bit 802.11 sequence number.
+	SeqNum int
+	// Addr1, Addr2, Addr3 are the MAC header addresses (receiver,
+	// transmitter, and the DS-dependent third address).
+	Addr1, Addr2, Addr3 [6]byte
+	// Body is the encrypted frame body after the 8-byte TKIP IV header.
+	Body []byte
+}
+
+// SplitRadiotap validates a radiotap pseudo-header and returns the 802.11
+// frame after it, plus whether the radiotap flags field says the frame
+// ends in an FCS trailer. Only the first two radiotap fields (TSFT, flags)
+// are decoded — everything else is skipped via the header's length field.
+func SplitRadiotap(b []byte) (frame []byte, fcsAtEnd bool, err error) {
+	if len(b) < 8 {
+		return nil, false, ErrShortFrame
+	}
+	if b[0] != 0 { // radiotap version is always 0
+		return nil, false, ErrCorrupt
+	}
+	hlen := int(binary.LittleEndian.Uint16(b[2:4]))
+	if hlen < 8 || hlen > len(b) {
+		return nil, false, ErrShortFrame
+	}
+	// Walk the chained presence words.
+	off := 4
+	var first uint32
+	for i := 0; ; i++ {
+		if off+4 > hlen {
+			return nil, false, ErrCorrupt
+		}
+		w := binary.LittleEndian.Uint32(b[off : off+4])
+		if i == 0 {
+			first = w
+		}
+		off += 4
+		if w&(1<<31) == 0 {
+			break
+		}
+		if i >= 32 { // a real presence chain is a handful of words
+			return nil, false, ErrCorrupt
+		}
+	}
+	// Decode just TSFT (bit 0, u64 aligned to 8) and flags (bit 1, u8) to
+	// learn whether the FCS trails the frame; field offsets are relative
+	// to the start of the radiotap header.
+	if first&1 != 0 {
+		off = (off + 7) &^ 7
+		off += 8
+	}
+	if first&2 != 0 {
+		if off < hlen {
+			fcsAtEnd = b[off]&0x10 != 0
+		}
+	}
+	return b[hlen:], fcsAtEnd, nil
+}
+
+// ParseMPDU parses one 802.11 frame (no radiotap) into a TKIP MPDU. It
+// handles Data and QoS-Data subtypes, all four ToDS/FromDS combinations
+// (including the 4-address WDS header), HT control, and the TKIP IV/ExtIV
+// header; fcsAtEnd strips a trailing FCS first. Frames that are not
+// TKIP-encrypted data are rejected with the soft classification errors
+// above; frames shorter than their own headers yield ErrShortFrame.
+func ParseMPDU(b []byte, fcsAtEnd bool) (MPDU, error) {
+	if fcsAtEnd {
+		if len(b) < 4 {
+			return MPDU{}, ErrShortFrame
+		}
+		b = b[:len(b)-4]
+	}
+	if len(b) < 24 {
+		return MPDU{}, ErrShortFrame
+	}
+	fc := binary.LittleEndian.Uint16(b[0:2])
+	if fc&0x3 != 0 { // protocol version must be 0
+		return MPDU{}, ErrNotDataFrame
+	}
+	if (fc>>2)&0x3 != 2 { // management and control frames carry no MSDU
+		return MPDU{}, ErrNotDataFrame
+	}
+	subtype := (fc >> 4) & 0xF
+	if subtype&0x4 != 0 { // null-data variants have no body
+		return MPDU{}, ErrNotDataFrame
+	}
+	hdr := 24
+	toDS, fromDS := fc&0x0100 != 0, fc&0x0200 != 0
+	if toDS && fromDS {
+		hdr += 6 // addr4 (WDS)
+	}
+	if subtype&0x8 != 0 { // QoS Data
+		hdr += 2
+		if fc&0x8000 != 0 { // order bit on a QoS frame: +HT control
+			hdr += 4
+		}
+	}
+	if len(b) < hdr {
+		return MPDU{}, ErrShortFrame
+	}
+	if fc&0x4000 == 0 {
+		return MPDU{}, ErrNotProtected
+	}
+	iv := b[hdr:]
+	if len(iv) < 8 {
+		return MPDU{}, ErrShortFrame
+	}
+	// TKIP discriminators: ExtIV must be set, and the WEP seed byte must
+	// follow the mandated (TSC1 | 0x20) & 0x7f structure — CCMP's PN
+	// layout fails the second check.
+	if iv[3]&0x20 == 0 || iv[1] != (iv[0]|0x20)&0x7f {
+		return MPDU{}, ErrNotTKIP
+	}
+	seqCtl := binary.LittleEndian.Uint16(b[22:24])
+	m := MPDU{
+		TSC: uint64(iv[2]) | uint64(iv[0])<<8 | uint64(iv[4])<<16 |
+			uint64(iv[5])<<24 | uint64(iv[6])<<32 | uint64(iv[7])<<40,
+		Retry:    fc&0x0800 != 0,
+		MoreFrag: fc&0x0400 != 0,
+		FragNum:  int(seqCtl & 0xF),
+		SeqNum:   int(seqCtl >> 4),
+		Body:     iv[8:],
+	}
+	copy(m.Addr1[:], b[4:10])
+	copy(m.Addr2[:], b[10:16])
+	copy(m.Addr3[:], b[16:22])
+	return m, nil
+}
+
+// FrameWriter emits TKIP MPDUs as monitor-mode packets: an optional
+// minimal radiotap header, an 802.11 QoS-Data (or plain Data) header with
+// FromDS addressing, the TKIP IV/ExtIV header, and the encrypted body.
+// The 802.11 sequence number increments per frame, so written captures
+// carry the retry/sequence structure the parser and filters handle.
+type FrameWriter struct {
+	w        PacketWriter
+	radiotap bool
+	// TA, DA, SA address the frames (transmitter/BSSID, destination,
+	// source), matching the tkip.Session fields of the stream's sender.
+	TA, DA, SA [6]byte
+	// QoS selects the QoS-Data subtype (with a TID-0 QoS control field)
+	// over plain Data.
+	QoS bool
+	seq uint16
+	// last remembers the previous frame so WriteRetry can emit a
+	// MAC-level retransmission (same TSC, same sequence, retry bit set).
+	last    []byte
+	hasLast bool
+	scratch []byte
+}
+
+// NewFrameWriter creates a frame writer over a packet writer opened with
+// linkType LinkTypeRadiotap or LinkTypeIEEE80211.
+func NewFrameWriter(w PacketWriter, linkType uint32, ta, da, sa [6]byte) (*FrameWriter, error) {
+	switch linkType {
+	case LinkTypeRadiotap, LinkTypeIEEE80211:
+	default:
+		return nil, &LinkTypeError{LinkType: linkType, Want: "802.11 or radiotap"}
+	}
+	return &FrameWriter{
+		w:        w,
+		radiotap: linkType == LinkTypeRadiotap,
+		TA:       ta, DA: da, SA: sa,
+		QoS: true,
+	}, nil
+}
+
+// minimal radiotap header: version 0, length 8, empty presence word.
+var radiotapHeader = [8]byte{0, 0, 8, 0, 0, 0, 0, 0}
+
+// WriteRetry re-emits the previous frame with the retry bit set — a
+// MAC-level retransmission, byte-identical apart from that bit, which the
+// TSC de-duplication on the ingest side must drop.
+func (fw *FrameWriter) WriteRetry() error {
+	if !fw.hasLast {
+		return errors.New("trace: no frame written yet to retry")
+	}
+	pkt := append([]byte(nil), fw.last...)
+	off := 0
+	if fw.radiotap {
+		off = len(radiotapHeader)
+	}
+	pkt[off+1] |= 0x08 // retry is bit 11 of frame control — bit 3 of its high byte
+	return fw.w.WritePacket(pkt)
+}
+
+// WriteFrame emits one MPDU for the given TSC and encrypted body.
+func (fw *FrameWriter) WriteFrame(tsc uint64, body []byte) error {
+	hdr := 24
+	if fw.QoS {
+		hdr += 2
+	}
+	rt := 0
+	if fw.radiotap {
+		rt = len(radiotapHeader)
+	}
+	n := rt + hdr + 8 + len(body)
+	if cap(fw.scratch) < n {
+		fw.scratch = make([]byte, n)
+	}
+	pkt := fw.scratch[:n]
+	if fw.radiotap {
+		copy(pkt, radiotapHeader[:])
+	}
+	f := pkt[rt:]
+	fc := uint16(0x0008 | 0x0200 | 0x4000) // data, FromDS, protected
+	if fw.QoS {
+		fc |= 0x0080 // QoS-Data subtype
+	}
+	binary.LittleEndian.PutUint16(f[0:2], fc)
+	binary.LittleEndian.PutUint16(f[2:4], 44) // duration (cosmetic)
+	// FromDS addressing: addr1 = destination, addr2 = transmitter/BSSID,
+	// addr3 = source.
+	copy(f[4:10], fw.DA[:])
+	copy(f[10:16], fw.TA[:])
+	copy(f[16:22], fw.SA[:])
+	binary.LittleEndian.PutUint16(f[22:24], fw.seq<<4)
+	fw.seq = (fw.seq + 1) & 0xFFF
+	if fw.QoS {
+		f[24], f[25] = 0, 0 // TID 0
+	}
+	iv := f[hdr:]
+	iv[0] = byte(tsc >> 8)        // TSC1
+	iv[1] = (iv[0] | 0x20) & 0x7f // WEP seed
+	iv[2] = byte(tsc)             // TSC0
+	iv[3] = 0x20                  // key ID 0, ExtIV
+	iv[4] = byte(tsc >> 16)
+	iv[5] = byte(tsc >> 24)
+	iv[6] = byte(tsc >> 32)
+	iv[7] = byte(tsc >> 40)
+	copy(iv[8:], body)
+	fw.last = append(fw.last[:0], pkt...)
+	fw.hasLast = true
+	return fw.w.WritePacket(pkt)
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// fuzzSeedCaptures builds small valid captures in every container/link
+// combination the package writes, so the fuzzers start from structurally
+// interesting corpora instead of pure noise.
+func fuzzSeedCaptures(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for _, format := range []string{"pcap", "pcapng"} {
+		var buf bytes.Buffer
+		var (
+			pw  PacketWriter
+			err error
+		)
+		if format == "pcap" {
+			pw, err = NewPcapWriter(&buf, LinkTypeRadiotap)
+		} else {
+			pw, err = NewPcapNGWriter(&buf, LinkTypeRadiotap)
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		fw, err := NewFrameWriter(pw, LinkTypeRadiotap, [6]byte{1}, [6]byte{2}, [6]byte{3})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := fw.WriteFrame(0xBEEF, []byte("encrypted-body-bytes")); err != nil {
+			tb.Fatal(err)
+		}
+		if err := fw.WriteRetry(); err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+
+		buf.Reset()
+		if format == "pcap" {
+			pw, err = NewPcapWriter(&buf, LinkTypeEthernet)
+		} else {
+			pw, err = NewPcapNGWriter(&buf, LinkTypeEthernet)
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sw, err := NewTCPStreamWriter(pw, LinkTypeEthernet, FlowKey{
+			SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2}, SrcPort: 1234, DstPort: 443,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := sw.WriteStream(bytes.Repeat([]byte{0x17, 0x03, 0x03}, 64)); err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, append([]byte(nil), buf.Bytes()...))
+	}
+	return seeds
+}
+
+// FuzzReader hammers the container parsers: arbitrary bytes must never
+// panic, over-read, or loop forever — every stream ends in a packet
+// sequence terminated by io.EOF or a typed error. The whole TCP path is
+// driven behind it so packet parsing and reassembly fuzz too.
+func FuzzReader(f *testing.F) {
+	for _, seed := range fuzzSeedCaptures(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var as Assembler
+		as.MaxBuffered = 1 << 16
+		deliver := func(FlowKey, []byte) error { return nil }
+		for i := 0; i < 1<<14; i++ {
+			pkt, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+			if len(pkt.Data) > maxPacketLen {
+				t.Fatalf("reader surfaced an oversized packet: %d bytes", len(pkt.Data))
+			}
+			if seg, err := ParseTCPPacket(pkt.LinkType, pkt.Data); err == nil {
+				if err := as.Push(seg, deliver); err != nil {
+					return
+				}
+			}
+		}
+		_ = as.Flush(deliver)
+	})
+}
+
+// FuzzRadiotapMPDU hammers the monitor-mode frame path: radiotap split
+// plus 802.11/TKIP parsing over arbitrary bytes must never panic or
+// over-read, and an accepted MPDU's body must lie inside the input.
+func FuzzRadiotapMPDU(f *testing.F) {
+	var buf bytes.Buffer
+	pw, _ := NewPcapWriter(&buf, LinkTypeRadiotap)
+	fw, _ := NewFrameWriter(pw, LinkTypeRadiotap, [6]byte{1}, [6]byte{2}, [6]byte{3})
+	_ = fw.WriteFrame(7, []byte("body"))
+	f.Add(buf.Bytes()[24+16:]) // the raw radiotap+frame packet
+	f.Add([]byte{0, 0, 8, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, fcs, err := SplitRadiotap(data)
+		if err == nil {
+			if m, err := ParseMPDU(frame, fcs); err == nil {
+				if len(m.Body) > len(data) {
+					t.Fatal("MPDU body larger than the input")
+				}
+			}
+		}
+		// The bare-802.11 path must hold on the same bytes too.
+		if m, err := ParseMPDU(data, false); err == nil {
+			if len(m.Body) > len(data) {
+				t.Fatal("MPDU body larger than the input")
+			}
+		}
+	})
+}

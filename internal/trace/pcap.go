@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Classic pcap (libpcap savefile) magic numbers, read big-endian from the
+// first four file bytes. The "swapped" variants mean the file was written
+// on a machine of the opposite endianness; the nsec variants carry
+// nanosecond rather than microsecond timestamp fractions.
+const (
+	pcapMagicUsec        = 0xa1b2c3d4
+	pcapMagicUsecSwapped = 0xd4c3b2a1
+	pcapMagicNsec        = 0xa1b23c4d
+	pcapMagicNsecSwapped = 0x4d3cb2a1
+)
+
+const (
+	pcapFileHeaderLen   = 24
+	pcapRecordHeaderLen = 16
+)
+
+// pcapReader streams a classic pcap file: a 24-byte global header (magic,
+// version, snaplen, one link type for the whole file) followed by 16-byte
+// per-record headers and packet bytes.
+type pcapReader struct {
+	r        io.Reader
+	order    binary.ByteOrder
+	nsFactor uint64 // 1000 for usec captures, 1 for nsec
+	linkType uint32
+	hdr      [pcapRecordHeaderLen]byte
+	buf      []byte
+}
+
+func newPcapReader(r io.Reader) (*Reader, error) {
+	var hdr [pcapFileHeaderLen]byte
+	if err := readFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	p := &pcapReader{r: r, nsFactor: 1000}
+	switch binary.BigEndian.Uint32(hdr[:4]) {
+	case pcapMagicUsec:
+		p.order = binary.BigEndian
+	case pcapMagicNsec:
+		p.order = binary.BigEndian
+		p.nsFactor = 1
+	case pcapMagicUsecSwapped:
+		p.order = binary.LittleEndian
+	case pcapMagicNsecSwapped:
+		p.order = binary.LittleEndian
+		p.nsFactor = 1
+	default:
+		return nil, ErrFormat
+	}
+	p.linkType = p.order.Uint32(hdr[20:24])
+	return &Reader{next: p.next}, nil
+}
+
+func (p *pcapReader) next() (Packet, error) {
+	if _, err := io.ReadFull(p.r, p.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Packet{}, io.EOF // clean end: no record started
+		}
+		if err == io.ErrUnexpectedEOF {
+			return Packet{}, ErrTruncatedCapture
+		}
+		return Packet{}, err
+	}
+	sec := uint64(p.order.Uint32(p.hdr[0:4]))
+	frac := uint64(p.order.Uint32(p.hdr[4:8]))
+	inclLen := p.order.Uint32(p.hdr[8:12])
+	if inclLen > maxPacketLen {
+		return Packet{}, ErrCorrupt
+	}
+	if cap(p.buf) < int(inclLen) {
+		p.buf = make([]byte, inclLen)
+	}
+	p.buf = p.buf[:inclLen]
+	if err := readFull(p.r, p.buf); err != nil {
+		return Packet{}, err
+	}
+	return Packet{
+		LinkType: p.linkType,
+		TS:       sec*1e9 + frac*p.nsFactor,
+		Data:     p.buf,
+	}, nil
+}
+
+// PcapWriter writes a classic pcap file (little-endian, microsecond
+// timestamps, snaplen 262144). Timestamps are synthetic and deterministic:
+// each packet is stamped one microsecond after the previous, so the bytes
+// a given stream produces are identical across runs.
+type PcapWriter struct {
+	w  io.Writer
+	ts uint64 // microseconds
+}
+
+// NewPcapWriter writes the global header for the given link type and
+// returns the writer.
+func NewPcapWriter(w io.Writer, linkType uint32) (*PcapWriter, error) {
+	var hdr [pcapFileHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagicUsec)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major version
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor version
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], 262144) // snaplen
+	binary.LittleEndian.PutUint32(hdr[20:24], linkType)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WritePacket appends one packet record.
+func (pw *PcapWriter) WritePacket(data []byte) error {
+	var hdr [pcapRecordHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(pw.ts/1e6))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(pw.ts%1e6))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	pw.ts++
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(data)
+	return err
+}

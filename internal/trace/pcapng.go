@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// pcapng block types.
+const (
+	pcapngSHBType = 0x0A0D0D0A // Section Header Block
+	pcapngIDBType = 0x00000001 // Interface Description Block
+	pcapngSPBType = 0x00000003 // Simple Packet Block
+	pcapngEPBType = 0x00000006 // Enhanced Packet Block
+
+	pcapngByteOrderMagic = 0x1A2B3C4D
+)
+
+// maxBlockLen bounds one pcapng block; larger length fields are corruption
+// (an EPB's overhead over its packet is tens of bytes).
+const maxBlockLen = maxPacketLen + 1<<12
+
+// pcapngIface is one Interface Description Block's relevant state; EPBs
+// reference interfaces by index and each carries its own link type.
+type pcapngIface struct {
+	linkType  uint32
+	tsResolNS uint64 // nanoseconds per timestamp unit
+}
+
+// pcapngReader streams a pcapng file block by block: Section Header Blocks
+// reset the byte order and interface table, Interface Description Blocks
+// declare link types, Enhanced/Simple Packet Blocks carry packets, and any
+// other block type is skipped.
+type pcapngReader struct {
+	r      io.Reader
+	order  binary.ByteOrder
+	ifaces []pcapngIface
+	buf    []byte
+}
+
+func newPcapNGReader(r io.Reader) (*Reader, error) {
+	p := &pcapngReader{r: r}
+	// The stream must open with a Section Header Block.
+	var pre [8]byte
+	if err := readFull(r, pre[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(pre[0:4]) != pcapngSHBType {
+		return nil, ErrFormat
+	}
+	if err := p.enterSection(pre[4:8]); err != nil {
+		return nil, err
+	}
+	return &Reader{next: p.next}, nil
+}
+
+// enterSection parses the remainder of a Section Header Block whose type
+// word has been consumed and whose (endian-ambiguous) total-length bytes
+// are in rawLen. The byte-order magic that follows fixes the endianness.
+func (p *pcapngReader) enterSection(rawLen []byte) error {
+	var magic [4]byte
+	if err := readFull(p.r, magic[:]); err != nil {
+		return err
+	}
+	switch binary.BigEndian.Uint32(magic[:]) {
+	case pcapngByteOrderMagic:
+		p.order = binary.BigEndian
+	case 0x4D3C2B1A: // byte-order magic seen through the opposite endianness
+		p.order = binary.LittleEndian
+	default:
+		return ErrFormat
+	}
+	total := p.order.Uint32(rawLen)
+	// Type(4) + length(4) + magic(4) are consumed; the rest of the block
+	// (version, section length, options, trailing length) is skipped.
+	if total < 28 || total > maxBlockLen || total%4 != 0 {
+		return ErrCorrupt
+	}
+	if err := p.skip(int(total) - 12); err != nil {
+		return err
+	}
+	p.ifaces = p.ifaces[:0] // interfaces are scoped to their section
+	return nil
+}
+
+func (p *pcapngReader) skip(n int) error {
+	if cap(p.buf) < n {
+		p.buf = make([]byte, n)
+	}
+	return readFull(p.r, p.buf[:n])
+}
+
+func (p *pcapngReader) next() (Packet, error) {
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return Packet{}, io.EOF // clean end at a block boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				return Packet{}, ErrTruncatedCapture
+			}
+			return Packet{}, err
+		}
+		if binary.BigEndian.Uint32(hdr[0:4]) == pcapngSHBType {
+			// A new section: endianness and interfaces start over.
+			if err := p.enterSection(hdr[4:8]); err != nil {
+				return Packet{}, err
+			}
+			continue
+		}
+		blockType := p.order.Uint32(hdr[0:4])
+		total := p.order.Uint32(hdr[4:8])
+		if total < 12 || total > maxBlockLen || total%4 != 0 {
+			return Packet{}, ErrCorrupt
+		}
+		body := int(total) - 12 // block minus type, length, trailing length
+		if cap(p.buf) < body {
+			p.buf = make([]byte, body)
+		}
+		buf := p.buf[:body]
+		if err := readFull(p.r, buf); err != nil {
+			return Packet{}, err
+		}
+		var trailer [4]byte
+		if err := readFull(p.r, trailer[:]); err != nil {
+			return Packet{}, err
+		}
+		if p.order.Uint32(trailer[:]) != total {
+			return Packet{}, ErrCorrupt
+		}
+
+		switch blockType {
+		case pcapngIDBType:
+			if len(buf) < 8 {
+				return Packet{}, ErrCorrupt
+			}
+			p.ifaces = append(p.ifaces, pcapngIface{
+				linkType:  uint32(p.order.Uint16(buf[0:2])),
+				tsResolNS: 1000, // default if_tsresol is microseconds
+			})
+		case pcapngEPBType:
+			if len(buf) < 20 {
+				return Packet{}, ErrCorrupt
+			}
+			ifaceID := p.order.Uint32(buf[0:4])
+			if int(ifaceID) >= len(p.ifaces) {
+				return Packet{}, ErrCorrupt
+			}
+			ts := uint64(p.order.Uint32(buf[4:8]))<<32 | uint64(p.order.Uint32(buf[8:12]))
+			capLen := p.order.Uint32(buf[12:16])
+			if int(capLen) > len(buf)-20 {
+				return Packet{}, ErrCorrupt
+			}
+			iface := p.ifaces[ifaceID]
+			return Packet{
+				LinkType: iface.linkType,
+				TS:       ts * iface.tsResolNS,
+				Data:     buf[20 : 20+capLen],
+			}, nil
+		case pcapngSPBType:
+			if len(p.ifaces) == 0 {
+				return Packet{}, ErrCorrupt
+			}
+			if len(buf) < 4 {
+				return Packet{}, ErrCorrupt
+			}
+			origLen := int(p.order.Uint32(buf[0:4]))
+			capLen := len(buf) - 4 // padded to 32 bits by the writer
+			if origLen < capLen {
+				capLen = origLen
+			}
+			return Packet{LinkType: p.ifaces[0].linkType, Data: buf[4 : 4+capLen]}, nil
+		default:
+			// Name resolution, statistics, custom blocks: skip.
+		}
+	}
+}
+
+// PcapNGWriter writes a pcapng file: one Section Header Block, one
+// Interface Description Block, then one Enhanced Packet Block per packet
+// (little-endian, microsecond timestamps, deterministic like PcapWriter).
+type PcapNGWriter struct {
+	w  io.Writer
+	ts uint64 // microseconds
+}
+
+// NewPcapNGWriter writes the section and interface headers for the given
+// link type and returns the writer.
+func NewPcapNGWriter(w io.Writer, linkType uint32) (*PcapNGWriter, error) {
+	le := binary.LittleEndian
+	shb := make([]byte, 28)
+	le.PutUint32(shb[0:4], pcapngSHBType)
+	le.PutUint32(shb[4:8], 28)
+	le.PutUint32(shb[8:12], pcapngByteOrderMagic)
+	le.PutUint16(shb[12:14], 1) // major
+	// minor stays 0.
+	le.PutUint64(shb[16:24], ^uint64(0)) // section length unknown
+	le.PutUint32(shb[24:28], 28)
+
+	idb := make([]byte, 20)
+	le.PutUint32(idb[0:4], pcapngIDBType)
+	le.PutUint32(idb[4:8], 20)
+	le.PutUint16(idb[8:10], uint16(linkType))
+	le.PutUint32(idb[12:16], 262144) // snaplen
+	le.PutUint32(idb[16:20], 20)
+
+	if _, err := w.Write(shb); err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(idb); err != nil {
+		return nil, err
+	}
+	return &PcapNGWriter{w: w}, nil
+}
+
+// WritePacket appends one Enhanced Packet Block.
+func (pw *PcapNGWriter) WritePacket(data []byte) error {
+	le := binary.LittleEndian
+	padded := (len(data) + 3) &^ 3
+	total := 32 + padded
+	blk := make([]byte, total)
+	le.PutUint32(blk[0:4], pcapngEPBType)
+	le.PutUint32(blk[4:8], uint32(total))
+	// Interface ID 0.
+	le.PutUint32(blk[12:16], uint32(pw.ts>>32))
+	le.PutUint32(blk[16:20], uint32(pw.ts))
+	le.PutUint32(blk[20:24], uint32(len(data)))
+	le.PutUint32(blk[24:28], uint32(len(data)))
+	copy(blk[28:], data)
+	le.PutUint32(blk[28+padded:], uint32(total))
+	pw.ts++
+	_, err := pw.w.Write(blk)
+	return err
+}

@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"rc4break/internal/packet"
+)
+
+var testFlow = FlowKey{
+	SrcIP:   [4]byte{192, 168, 1, 100},
+	DstIP:   [4]byte{203, 0, 113, 80},
+	SrcPort: 52113,
+	DstPort: 443,
+}
+
+// writeStreamPackets writes stream bytes through a TCPStreamWriter with
+// the given MSS and returns the capture file bytes.
+func writeStreamPackets(t *testing.T, linkType uint32, mss int, stream []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	pw, err := NewPcapWriter(&buf, linkType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewTCPStreamWriter(pw, linkType, testFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.MSS = mss
+	if err := sw.WriteStream(stream); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// reassemble runs a capture through ParseTCPPacket + Assembler and returns
+// the delivered stream.
+func reassemble(t *testing.T, capture []byte) []byte {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var as Assembler
+	var out []byte
+	deliver := func(_ FlowKey, data []byte) error {
+		out = append(out, data...)
+		return nil
+	}
+	for {
+		pkt, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := ParseTCPPacket(pkt.LinkType, pkt.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := as.Push(seg, deliver); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := as.Flush(deliver); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStreamWriterReassembleRoundTrip(t *testing.T) {
+	stream := make([]byte, 10000)
+	rand.New(rand.NewSource(1)).Read(stream)
+	for _, link := range []uint32{LinkTypeEthernet, LinkTypeRawIP} {
+		got := reassemble(t, writeStreamPackets(t, link, 1460, stream))
+		if !bytes.Equal(got, stream) {
+			t.Fatalf("link %d: reassembled stream differs", link)
+		}
+	}
+}
+
+// TestAssemblerOutOfOrderAndOverlap shuffles segments and injects
+// duplicates plus partial overlaps; the delivered stream must still be
+// exactly the original bytes.
+func TestAssemblerOutOfOrderAndOverlap(t *testing.T) {
+	stream := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(stream)
+
+	// Build segments by hand: 256-byte slices, plus overlapping extras.
+	type segdef struct{ start, end int }
+	var defs []segdef
+	for off := 0; off < len(stream); off += 256 {
+		defs = append(defs, segdef{off, off + 256})
+	}
+	defs = append(defs,
+		segdef{128, 512},   // overlaps two delivered segments
+		segdef{1000, 1300}, // straddles segment boundaries
+		segdef{0, 256},     // pure duplicate
+	)
+	rng.Shuffle(len(defs), func(i, j int) { defs[i], defs[j] = defs[j], defs[i] })
+
+	const isn = 5
+	var as Assembler
+	var out []byte
+	deliver := func(_ FlowKey, data []byte) error {
+		out = append(out, data...)
+		return nil
+	}
+	for _, d := range defs {
+		err := as.Push(Segment{
+			Key:     testFlow,
+			Seq:     uint32(isn + d.start),
+			Payload: stream[d.start:d.end],
+		}, deliver)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No SYN in this capture: the flow buffers until Flush commits it to
+	// the lowest sequence seen, which recovers the entire stream
+	// regardless of arrival order.
+	if err := as.Flush(deliver); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, stream) {
+		t.Fatalf("reassembled %d bytes: stream differs", len(out))
+	}
+	if as.Duplicates == 0 {
+		t.Error("duplicate segments produced no accounting")
+	}
+}
+
+func TestAssemblerSYNConsumesSequenceNumber(t *testing.T) {
+	var as Assembler
+	var out []byte
+	deliver := func(_ FlowKey, data []byte) error { out = append(out, data...); return nil }
+	if err := as.Push(Segment{Key: testFlow, Seq: 99, SYN: true}, deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Push(Segment{Key: testFlow, Seq: 100, Payload: []byte("hello")}, deliver); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestAssemblerWindowCap(t *testing.T) {
+	as := Assembler{MaxBuffered: 1024}
+	deliver := func(_ FlowKey, data []byte) error { return nil }
+	// Seed the flow cursor, then push far-ahead segments until the cap.
+	if err := as.Push(Segment{Key: testFlow, Seq: 0, Payload: []byte("x")}, deliver); err != nil {
+		t.Fatal(err)
+	}
+	err := as.Push(Segment{Key: testFlow, Seq: 10000, Payload: make([]byte, 2048)}, deliver)
+	if !errors.Is(err, ErrReassemblyWindow) {
+		t.Fatalf("got %v, want ErrReassemblyWindow", err)
+	}
+	// The overflow abandons only that flow: later segments for it drop
+	// silently, and an independent flow keeps reassembling.
+	if err := as.Push(Segment{Key: testFlow, Seq: 20000, Payload: make([]byte, 2048)}, deliver); err != nil {
+		t.Fatalf("abandoned flow errored again: %v", err)
+	}
+	other := testFlow
+	other.SrcPort++
+	var got []byte
+	err = as.Push(Segment{Key: other, Seq: 5, SYN: true}, deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = as.Push(Segment{Key: other, Seq: 6, Payload: []byte("healthy")}, func(_ FlowKey, d []byte) error {
+		got = append(got, d...)
+		return nil
+	})
+	if err != nil || string(got) != "healthy" {
+		t.Fatalf("independent flow broken after another flow's overflow: %v %q", err, got)
+	}
+}
+
+// TestAssemblerSYNPayload pins TCP Fast Open handling: payload carried on
+// the SYN itself starts one past the SYN's sequence number, so the stream
+// stays hole-free.
+func TestAssemblerSYNPayload(t *testing.T) {
+	var as Assembler
+	var out []byte
+	deliver := func(_ FlowKey, d []byte) error { out = append(out, d...); return nil }
+	if err := as.Push(Segment{Key: testFlow, Seq: 100, SYN: true, Payload: []byte("fast-open")}, deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Push(Segment{Key: testFlow, Seq: 110, Payload: []byte(" rest")}, deliver); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "fast-open rest" {
+		t.Fatalf("TFO stream corrupted: %q", out)
+	}
+}
+
+// TestAssemblerFlushDeterministicOrder pins Flush's cross-flow delivery
+// order: sorted flow keys, not map iteration order — two ingests of one
+// capture must deliver identical byte sequences.
+func TestAssemblerFlushDeterministicOrder(t *testing.T) {
+	keys := []FlowKey{
+		{SrcIP: [4]byte{10, 0, 0, 3}, SrcPort: 1},
+		{SrcIP: [4]byte{10, 0, 0, 1}, SrcPort: 9},
+		{SrcIP: [4]byte{10, 0, 0, 1}, SrcPort: 2},
+		{SrcIP: [4]byte{10, 0, 0, 2}, SrcPort: 5},
+	}
+	want := []FlowKey{keys[2], keys[1], keys[3], keys[0]}
+	for trial := 0; trial < 8; trial++ {
+		var as Assembler
+		for _, k := range keys {
+			// No SYN: the flows stay unsynced until Flush.
+			if err := as.Push(Segment{Key: k, Seq: 50, Payload: []byte("data")}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var order []FlowKey
+		err := as.Flush(func(k FlowKey, _ []byte) error {
+			order = append(order, k)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != len(want) {
+			t.Fatalf("flushed %d flows, want %d", len(order), len(want))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("trial %d: flush order %v, want %v", trial, order, want)
+			}
+		}
+	}
+}
+
+func TestParseTCPPacketClassification(t *testing.T) {
+	// Non-IP ethertype (ARP).
+	arp := make([]byte, 60)
+	arp[12], arp[13] = 0x08, 0x06
+	if _, err := ParseTCPPacket(LinkTypeEthernet, arp); !errors.Is(err, ErrNotTCP) {
+		t.Errorf("ARP: got %v, want ErrNotTCP", err)
+	}
+	// UDP over raw IP.
+	udp := packet.IPv4{TTL: 64, Protocol: 17, Length: 28}.Marshal()
+	if _, err := ParseTCPPacket(LinkTypeRawIP, append(udp[:], make([]byte, 8)...)); !errors.Is(err, ErrNotTCP) {
+		t.Errorf("UDP: got %v, want ErrNotTCP", err)
+	}
+	// Truncated Ethernet header.
+	if _, err := ParseTCPPacket(LinkTypeEthernet, make([]byte, 8)); !errors.Is(err, packet.ErrTruncated) {
+		t.Errorf("short ethernet: got %v, want packet.ErrTruncated", err)
+	}
+	// Unsupported link type is a hard, typed error.
+	var lte *LinkTypeError
+	if _, err := ParseTCPPacket(LinkTypeRadiotap, make([]byte, 64)); !errors.As(err, &lte) {
+		t.Errorf("radiotap to TCP path: got %v, want LinkTypeError", err)
+	}
+	// IP total length beyond the captured bytes must not over-read.
+	long := packet.IPv4{TTL: 64, Protocol: 6, Length: 4000}.Marshal()
+	pkt := append(long[:], make([]byte, 40)...)
+	if _, err := ParseTCPPacket(LinkTypeRawIP, pkt); !errors.Is(err, packet.ErrHeaderLength) {
+		t.Errorf("overlong IP length: got %v, want packet.ErrHeaderLength", err)
+	}
+}
+
+// TestEthernetPaddingTrimmed pins that trailing Ethernet padding (minimum
+// frame size) never leaks into the reassembled stream: the IP total length
+// bounds the payload.
+func TestEthernetPaddingTrimmed(t *testing.T) {
+	payload := []byte("tiny")
+	ip := packet.IPv4{TTL: 64, Protocol: 6, SrcIP: testFlow.SrcIP, DstIP: testFlow.DstIP,
+		Length: uint16(packet.IPv4Size + packet.TCPSize + len(payload))}
+	tcp := packet.TCP{SrcPort: testFlow.SrcPort, DstPort: testFlow.DstPort, Seq: 1, Flags: 0x18}
+	ipHdr := ip.Marshal()
+	tcpHdr := tcp.Marshal(ip.SrcIP, ip.DstIP, payload)
+	frame := make([]byte, 0, 64)
+	frame = append(frame, make([]byte, 12)...)
+	frame = append(frame, 0x08, 0x00)
+	frame = append(frame, ipHdr[:]...)
+	frame = append(frame, tcpHdr[:]...)
+	frame = append(frame, payload...)
+	for len(frame) < 60 { // Ethernet pads to 60 before FCS
+		frame = append(frame, 0)
+	}
+	seg, err := ParseTCPPacket(LinkTypeEthernet, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seg.Payload, payload) {
+		t.Fatalf("padding leaked into payload: %q", seg.Payload)
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace is the repository's real-capture input layer: a
+// dependency-free (no cgo, no libpcap) streaming reader and writer for the
+// classic pcap and pcapng container formats, a radiotap + 802.11 frame
+// parser that extracts TKIP-encrypted MPDUs the way the paper's §5.4
+// collection tool does ("parses a raw pcap file"), and a TCP flow
+// reassembler that rebuilds the byte streams the §6.3 tool scans for TLS
+// records ("this requires reassembling the TCP and TLS streams").
+//
+// Everything every ciphertext-consuming layer above eats today is
+// synthesized in-process by netsim; this package gives the same layers a
+// second input: captures on disk. The attack packages own the conversion
+// from parsed packets into their evidence pools (tkip.TraceCollector,
+// cookieattack.TraceCollector); netsim owns the writer side (its victims
+// emit their simulated streams as pcap files), which is what lets the
+// round-trip — sim → pcap → ingest — be pinned bitwise against direct
+// in-process capture.
+//
+// Readers stream: packets are decoded one at a time into a reusable buffer,
+// so a multi-gigabyte trace ingests at O(max packet size) memory, not
+// O(file size). Writers produce deterministic bytes (fixed synthetic
+// timestamps), so written traces are comparable across runs like every
+// other artifact in the repository.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Link types (the pcap LINKTYPE_ registry values this package understands).
+const (
+	// LinkTypeEthernet frames carry Ethernet II headers (the TLS capture
+	// path).
+	LinkTypeEthernet uint32 = 1
+	// LinkTypeRawIP frames start directly at the IPv4 header.
+	LinkTypeRawIP uint32 = 101
+	// LinkTypeIEEE80211 frames start at the 802.11 MAC header.
+	LinkTypeIEEE80211 uint32 = 105
+	// LinkTypeRadiotap frames carry a radiotap pseudo-header before the
+	// 802.11 MAC header — what monitor-mode capture tools actually write.
+	LinkTypeRadiotap uint32 = 127
+)
+
+// Errors shared by the readers. ErrTruncatedCapture is the "truncated final
+// packet" case: the container promised more bytes than the stream holds —
+// an interrupted capture or a cut-off copy — and the caller decides whether
+// the packets already delivered are usable.
+var (
+	ErrFormat           = errors.New("trace: not a pcap or pcapng capture (bad magic)")
+	ErrTruncatedCapture = errors.New("trace: capture truncated mid-packet (interrupted or cut-off file)")
+	ErrCorrupt          = errors.New("trace: corrupt capture structure")
+)
+
+// LinkTypeError reports a capture whose link type a collector cannot
+// consume (e.g. an Ethernet trace fed to the 802.11 pipeline).
+type LinkTypeError struct {
+	LinkType uint32
+	Want     string
+}
+
+func (e *LinkTypeError) Error() string {
+	return fmt.Sprintf("trace: unsupported link type %d (want %s)", e.LinkType, e.Want)
+}
+
+// maxPacketLen bounds one captured packet; the usual tcpdump snaplen is
+// 262144, so anything beyond this is a corrupt length field, not data.
+const maxPacketLen = 1 << 21
+
+// Packet is one captured packet. Data aliases the reader's internal buffer
+// and is only valid until the next call to Next.
+type Packet struct {
+	// LinkType is the capture's link type (per interface for pcapng).
+	LinkType uint32
+	// TS is the capture timestamp in nanoseconds since the epoch.
+	TS uint64
+	// Data is the captured packet bytes.
+	Data []byte
+}
+
+// PacketWriter is the writing half shared by both container formats:
+// FrameWriter and TCPStreamWriter compose over it, so every synthetic
+// stream can be written as classic pcap or pcapng interchangeably.
+type PacketWriter interface {
+	// WritePacket appends one packet record.
+	WritePacket(data []byte) error
+}
+
+// Reader decodes packets from a pcap or pcapng stream, sniffing the format
+// from the magic number. It reads strictly forward (io.Reader, no seeking)
+// and reuses one packet buffer across calls.
+type Reader struct {
+	next func() (Packet, error)
+}
+
+// NewReader sniffs the container format and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		if err == io.EOF {
+			return nil, ErrTruncatedCapture
+		}
+		return nil, err
+	}
+	switch binary.BigEndian.Uint32(magic) {
+	case pcapMagicUsec, pcapMagicUsecSwapped, pcapMagicNsec, pcapMagicNsecSwapped:
+		return newPcapReader(br)
+	case pcapngSHBType:
+		return newPcapNGReader(br)
+	}
+	return nil, ErrFormat
+}
+
+// Next returns the next packet, io.EOF at a clean end of the capture, or
+// ErrTruncatedCapture when the stream ends mid-record.
+func (r *Reader) Next() (Packet, error) { return r.next() }
+
+// readFull fills buf, mapping any end-of-stream condition to
+// ErrTruncatedCapture — by the time a reader calls this it has already
+// committed to a record that must be whole.
+func readFull(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncatedCapture
+		}
+		return err
+	}
+	return nil
+}

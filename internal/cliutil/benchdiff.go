@@ -3,6 +3,7 @@ package cliutil
 import (
 	"fmt"
 	"io"
+	"regexp"
 	"sort"
 )
 
@@ -24,6 +25,19 @@ type BenchDelta struct {
 // unique.
 func benchKey(r BenchResult) string {
 	return fmt.Sprintf("%s\x00%s", r.Pkg, r.Name)
+}
+
+// FilterBench keeps only the results whose benchmark name matches re — the
+// allowlist behind benchdiff's -gate mode, which fails CI on regressions in
+// a pinned benchmark family while the module-wide diff stays warn-only.
+func FilterBench(results []BenchResult, re *regexp.Regexp) []BenchResult {
+	out := make([]BenchResult, 0, len(results))
+	for _, r := range results {
+		if re.MatchString(r.Name) {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // DiffBench matches benchmarks between a baseline and a new run by

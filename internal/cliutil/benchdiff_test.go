@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,23 @@ func TestDiffBench(t *testing.T) {
 	// Threshold 0 disables the gate entirely.
 	if got := FormatBenchDiff(&strings.Builder{}, deltas, nil, nil, 0); got != 0 {
 		t.Fatalf("threshold 0 counted %d regressions", got)
+	}
+}
+
+func TestFilterBench(t *testing.T) {
+	results := []BenchResult{
+		{Pkg: "rc4", Name: "BenchmarkKeystreamMulti1K", NsPerOp: 1},
+		{Pkg: "rc4", Name: "BenchmarkSkip1K", NsPerOp: 2},
+		{Pkg: "rc4", Name: "BenchmarkRekey", NsPerOp: 3},
+		{Pkg: "dataset", Name: "BenchmarkEngine", NsPerOp: 4},
+	}
+	re := regexp.MustCompile(`BenchmarkKeystream|BenchmarkSkip`)
+	got := FilterBench(results, re)
+	if len(got) != 2 || got[0].Name != "BenchmarkKeystreamMulti1K" || got[1].Name != "BenchmarkSkip1K" {
+		t.Fatalf("FilterBench = %+v", got)
+	}
+	if got := FilterBench(results, regexp.MustCompile(`^Nothing$`)); len(got) != 0 {
+		t.Fatalf("non-matching filter kept %+v", got)
 	}
 }
 

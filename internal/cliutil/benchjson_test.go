@@ -3,6 +3,7 @@ package cliutil
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -54,7 +55,7 @@ func TestParseBenchOutput(t *testing.T) {
 
 func TestWriteBenchJSONRoundTrips(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteBenchJSON(strings.NewReader(sampleBenchOutput), &buf); err != nil {
+	if err := WriteBenchJSON(strings.NewReader(sampleBenchOutput), &buf, false); err != nil {
 		t.Fatal(err)
 	}
 	var decoded []BenchResult
@@ -77,12 +78,35 @@ func TestParseBenchOutputIgnoresMalformed(t *testing.T) {
 	}
 }
 
-func TestWriteBenchJSONEmptyInputIsEmptyArray(t *testing.T) {
+func TestWriteBenchJSONEmptyInputErrors(t *testing.T) {
+	// A bench run that produced zero result lines means the bench step
+	// itself broke — that must be an error, not an empty "[]" document a
+	// perf gate would happily diff against.
 	var buf bytes.Buffer
-	if err := WriteBenchJSON(strings.NewReader("PASS\nok rc4break 0.1s\n"), &buf); err != nil {
-		t.Fatal(err)
+	err := WriteBenchJSON(strings.NewReader("PASS\nok rc4break 0.1s\n"), &buf, false)
+	if !errors.Is(err, ErrNoBenchResults) {
+		t.Fatalf("empty input: err = %v, want ErrNoBenchResults", err)
 	}
-	if got := strings.TrimSpace(buf.String()); got != "[]" {
-		t.Fatalf("empty input produced %q, want []", got)
+	if buf.Len() != 0 {
+		t.Fatalf("empty input still wrote %q", buf.String())
+	}
+}
+
+func TestMinBench(t *testing.T) {
+	in := []BenchResult{
+		{Pkg: "p", Name: "BenchmarkA", Procs: 1, NsPerOp: 300, Metrics: map[string]float64{"MB/s": 10}},
+		{Pkg: "p", Name: "BenchmarkB", Procs: 1, NsPerOp: 50},
+		{Pkg: "p", Name: "BenchmarkA", Procs: 1, NsPerOp: 100, Metrics: map[string]float64{"MB/s": 30}},
+		{Pkg: "p", Name: "BenchmarkA", Procs: 1, NsPerOp: 200, Metrics: map[string]float64{"MB/s": 15}},
+	}
+	out := MinBench(in)
+	if len(out) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(out), out)
+	}
+	if out[0].Name != "BenchmarkA" || out[0].NsPerOp != 100 || out[0].Metrics["MB/s"] != 30 {
+		t.Fatalf("min run not kept whole: %+v", out[0])
+	}
+	if out[1].Name != "BenchmarkB" || out[1].NsPerOp != 50 {
+		t.Fatalf("singleton mangled: %+v", out[1])
 	}
 }

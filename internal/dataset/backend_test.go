@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"context"
+	"hash/fnv"
+	"testing"
+
+	"rc4break/internal/rc4"
+)
+
+// digestSink folds every window into an order-insensitive digest: the sum of
+// per-window FNV hashes. Summation commutes, so two runs that deliver the
+// same multiset of windows — however interleaved across keys or shards —
+// produce the same digest, while any single flipped keystream byte changes
+// it. That is exactly the Sink ordering contract the batched backend is
+// allowed to relax, and no more.
+type digestSink struct {
+	sum     uint64
+	windows uint64
+}
+
+func (d *digestSink) Window(win []byte) {
+	h := fnv.New64a()
+	h.Write(win)
+	d.sum += h.Sum64()
+	d.windows++
+}
+
+func (d *digestSink) Merge(other Sink) error {
+	o, ok := other.(*digestSink)
+	if !ok {
+		return errIncompatibleSink
+	}
+	d.sum += o.sum
+	d.windows += o.windows
+	return nil
+}
+
+func runDigest(t *testing.T, backend rc4.Backend, st Stream, keys uint64, shards int) *digestSink {
+	t.Helper()
+	sink, err := Engine{Workers: 2, Backend: backend}.Run(context.Background(), st,
+		SplitKeys(keys, shards, 7), func(int) Sink { return &digestSink{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sink.(*digestSink)
+}
+
+// TestEngineBackendEquivalence pins the batched backend against the scalar
+// one across batch-boundary shapes: shards bigger than one lane batch,
+// shards with ragged tails, and shards smaller than a single batch (all of
+// it padded). Covers skip, overlap carry, multi-block delivery, and a
+// KeyDeriver, so every scalar-path feature crosses the batched path too.
+func TestEngineBackendEquivalence(t *testing.T) {
+	st := Stream{
+		KeyLen:   16,
+		Skip:     5,
+		Overlap:  2,
+		BlockLen: 9,
+		Blocks:   4,
+		KeyDeriver: func(keyIndex uint64, key []byte) {
+			key[0] = byte(keyIndex) // fold the global index into the key
+		},
+	}
+	for _, keys := range []uint64{1, 3, 32, 70, 131} {
+		scalar := runDigest(t, rc4.BackendScalar, st, keys, 2)
+		multi := runDigest(t, rc4.BackendMulti, st, keys, 2)
+		if scalar.windows != multi.windows {
+			t.Fatalf("keys=%d: window count %d (scalar) vs %d (multi)", keys, scalar.windows, multi.windows)
+		}
+		if want := keys * uint64(st.Blocks); scalar.windows != want {
+			t.Fatalf("keys=%d: %d windows, want %d", keys, scalar.windows, want)
+		}
+		if scalar.sum != multi.sum {
+			t.Fatalf("keys=%d: backend digests diverged", keys)
+		}
+	}
+}
+
+// TestEngineBackendEnv checks that Engine resolves RC4_BACKEND, and that an
+// unknown value fails the run instead of silently picking a default.
+func TestEngineBackendEnv(t *testing.T) {
+	st := Stream{BlockLen: 4}
+	t.Setenv(rc4.BackendEnv, "scalar")
+	base := runDigest(t, rc4.BackendAuto, st, 40, 2)
+	t.Setenv(rc4.BackendEnv, "soa")
+	soa := runDigest(t, rc4.BackendAuto, st, 40, 2)
+	if base.sum != soa.sum || base.windows != soa.windows {
+		t.Fatal("env-forced backends disagree")
+	}
+	t.Setenv(rc4.BackendEnv, "quantum")
+	if _, err := (Engine{}).Run(context.Background(), st, SplitKeys(4, 1, 0),
+		func(int) Sink { return &digestSink{} }); err == nil {
+		t.Fatal("invalid RC4_BACKEND did not fail the run")
+	}
+}

@@ -112,6 +112,15 @@ func SplitKeys(keys uint64, workers int, laneOffset uint64) []Shard {
 // implementations must keep it cheap; the slice is only valid for the
 // duration of the call. Merge is called on the shard-0 sink with every other
 // shard's sink, in shard order, after all generation finishes.
+//
+// Window ordering: each key's windows arrive in order (window b before
+// window b+1), but windows of *different* keys may interleave — the batched
+// rc4 backend generates up to rc4.MultiLanes keys in lockstep and delivers
+// each window round for the whole batch before the next round. Sinks must
+// therefore be insensitive to cross-key window order; every sink in this
+// repository is a commutative counter, for which the interleaving is
+// invisible. A sink that needs one key's windows contiguous must run with
+// Engine.Backend = rc4.BackendScalar.
 type Sink interface {
 	Window(win []byte)
 	Merge(other Sink) error
@@ -124,6 +133,12 @@ type Engine struct {
 	// GOMAXPROCS. Shards are handed to workers from a queue, so Workers
 	// only bounds parallelism — results are identical for any value.
 	Workers int
+	// Backend selects the rc4 kernel family shard workers generate with.
+	// The zero value (rc4.BackendAuto) resolves via the RC4_BACKEND
+	// environment variable and the compile-time default; see rc4.Backend.
+	// Keystream bytes are identical across backends — only the cross-key
+	// window interleaving differs (see Sink).
+	Backend rc4.Backend
 }
 
 // Run generates every shard's keystream windows in parallel, folds them into
@@ -140,6 +155,10 @@ func (e Engine) Run(ctx context.Context, st Stream, shards []Shard, newSink func
 	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	backend, err := e.Backend.Resolve()
+	if err != nil {
+		return nil, err
 	}
 	if len(shards) == 0 {
 		return nil, nil
@@ -174,7 +193,7 @@ func (e Engine) Run(ctx context.Context, st Stream, shards []Shard, newSink func
 				if errs[w] != nil {
 					continue // drain the queue after a failure
 				}
-				errs[w] = runShard(ctx, st, shards[i], sinks[i], prog)
+				errs[w] = runShard(ctx, st, shards[i], sinks[i], prog, backend)
 			}
 		}(w)
 	}
@@ -203,8 +222,12 @@ func (e Engine) Run(ctx context.Context, st Stream, shards []Shard, newSink func
 // keystream, so per-key checks alone would not keep cancellation responsive.
 const cancelCheckBlocks = 1024
 
-// runShard generates one shard's keys and feeds the windows to its sink.
-func runShard(ctx context.Context, st Stream, sh Shard, sink Sink, prog *progressMeter) error {
+// runShard generates one shard's keys and feeds the windows to its sink,
+// through whichever kernel family the resolved backend names.
+func runShard(ctx context.Context, st Stream, sh Shard, sink Sink, prog *progressMeter, backend rc4.Backend) error {
+	if backend == rc4.BackendMulti {
+		return runShardMulti(ctx, st, sh, sink, prog)
+	}
 	src := NewKeySource(st.Master, sh.Lane)
 	key := make([]byte, st.KeyLen)
 	win := make([]byte, st.Overlap+st.BlockLen)
@@ -235,6 +258,82 @@ func runShard(ctx context.Context, st Stream, sh Shard, sink Sink, prog *progres
 			sink.Window(win)
 		}
 		prog.done()
+	}
+	return nil
+}
+
+// runShardMulti is runShard on the batched rc4 backend: it fills
+// rc4.MultiLanes key-lanes at a time through one MultiCipher, so the kernel
+// amortizes loop and index overhead across the whole batch. Keys are drawn
+// from the KeySource in exactly the scalar order; a tail batch shorter than
+// the lane count pads the spare lanes by re-keying them with the batch's
+// first key *without* drawing from the source, and their output is never
+// delivered — so the keystream bytes any sink sees are bitwise identical to
+// the scalar path, merely interleaved across the batch (see Sink).
+func runShardMulti(ctx context.Context, st Stream, sh Shard, sink Sink, prog *progressMeter) error {
+	src := NewKeySource(st.Master, sh.Lane)
+	m := rc4.NewMulti()
+	lanes := uint64(m.Lanes())
+	keys := make([][]byte, lanes)
+	wins := make([][]byte, lanes)
+	tails := make([][]byte, lanes)
+	winLen := st.Overlap + st.BlockLen
+	buf := make([]byte, int(lanes)*winLen)
+	for l := range keys {
+		keys[l] = make([]byte, st.KeyLen)
+		wins[l] = buf[l*winLen : (l+1)*winLen]
+		tails[l] = wins[l][st.Overlap:]
+	}
+	// Keep cancellation about as responsive as the scalar path's
+	// per-cancelCheckBlocks-windows check: one batched round generates
+	// lanes windows at once.
+	checkEvery := cancelCheckBlocks / int(lanes)
+	if checkEvery == 0 {
+		checkEvery = 1
+	}
+	for k := uint64(0); k < sh.Keys; k += lanes {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := sh.Keys - k
+		if n > lanes {
+			n = lanes
+		}
+		for b := uint64(0); b < n; b++ {
+			src.NextKey(keys[b])
+			if st.KeyDeriver != nil {
+				st.KeyDeriver(sh.FirstKey+k+b, keys[b])
+			}
+		}
+		for b := n; b < lanes; b++ {
+			copy(keys[b], keys[0]) // pad lanes: no source draw, output dropped
+		}
+		if err := m.Rekey(keys); err != nil {
+			return err
+		}
+		m.SkipKeystream(st.Skip, wins)
+		for b := uint64(0); b < n; b++ {
+			sink.Window(wins[b])
+		}
+		for blk := 1; blk < st.Blocks; blk++ {
+			if blk%checkEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			// Every lane advances — padded lanes too, to keep the
+			// batch in lockstep — but only real lanes deliver.
+			for l := range wins {
+				copy(wins[l], wins[l][st.BlockLen:])
+			}
+			m.Keystream(tails)
+			for b := uint64(0); b < n; b++ {
+				sink.Window(wins[b])
+			}
+		}
+		for b := uint64(0); b < n; b++ {
+			prog.done()
+		}
 	}
 	return nil
 }

@@ -1,0 +1,10 @@
+//go:build !rc4_purego
+
+package rc4
+
+// defaultBackend is what BackendAuto resolves to absent an RC4_BACKEND
+// override. The batched multi-state kernels are the default everywhere; the
+// rc4_purego build tag (see backend_purego.go) pins the conservative scalar
+// reference path instead, and the CI backend matrix builds and tests both
+// configurations so neither can rot.
+const defaultBackend = BackendMulti

@@ -1,0 +1,10 @@
+//go:build rc4_purego
+
+package rc4
+
+// Under the rc4_purego tag the default backend is the scalar reference
+// path: the tag is the opt-out for environments that want the simplest
+// possible kernels (and is where a future GOARCH-gated assembly backend
+// would be disabled wholesale). Explicit Backend choices and RC4_BACKEND
+// still override — the tag only moves the auto default.
+const defaultBackend = BackendScalar

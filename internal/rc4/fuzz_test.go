@@ -1,0 +1,84 @@
+package rc4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzKeystreamBackends drives the scalar and batched backends through the
+// same randomized schedule — key material, skip offsets, and a sequence of
+// window sizes — and requires bitwise-identical keystream on every lane at
+// every split. The fuzzer owns the input bytes: the first few choose key
+// length, skip, and chunking, the rest seed the per-lane keys. This is the
+// cross-backend contract the dataset engine relies on, explored far past
+// the fixed shapes in multi_test.go.
+func FuzzKeystreamBackends(f *testing.F) {
+	f.Add([]byte{16, 3, 0, 200, 10, 20, 30})
+	f.Add([]byte{1, 0, 7})
+	f.Add([]byte{255, 255, 255, 255, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		keyLen := int(next())%MaxKeyLen + 1
+		skip := int(next()) * int(next()) // 0..65025, crosses many i wraps
+		// Up to 4 generate calls of 0..511 bytes each, so carried i/j
+		// state is checked at every chunk boundary.
+		sizes := make([]int, int(next())%4+1)
+		for c := range sizes {
+			sizes[c] = int(next()) + int(next())
+		}
+		keys := make([][]byte, MultiLanes)
+		for l := range keys {
+			keys[l] = make([]byte, keyLen)
+			for b := range keys[l] {
+				keys[l][b] = next() + byte(b*l) + byte(l)
+			}
+		}
+
+		m := NewMulti()
+		if err := m.Rekey(keys); err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*Cipher, MultiLanes)
+		for l := range refs {
+			refs[l] = MustNew(keys[l])
+		}
+
+		m.Skip(skip)
+		for _, ref := range refs {
+			ref.Skip(skip)
+		}
+		for c, size := range sizes {
+			got := make([][]byte, MultiLanes)
+			for l := range got {
+				got[l] = make([]byte, size)
+			}
+			m.Keystream(got)
+			want := make([]byte, size)
+			for l, ref := range refs {
+				ref.Keystream(want)
+				if !bytes.Equal(got[l], want) {
+					t.Fatalf("keyLen=%d skip=%d chunk=%d size=%d lane=%d: backends diverged",
+						keyLen, skip, c, size, l)
+				}
+			}
+		}
+		// The final PRGA indices must agree too — divergence here would
+		// poison the *next* window even if all compared bytes matched.
+		for l, ref := range refs {
+			if m.j[l] != ref.j {
+				t.Fatalf("lane %d: j diverged (%d vs %d)", l, m.j[l], ref.j)
+			}
+		}
+		if m.i != refs[0].i {
+			t.Fatalf("i diverged (%d vs %d)", m.i, refs[0].i)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Cross-state batched RC4: a structure-of-arrays backend driving many
+// independent cipher states in lockstep.
+//
+// A single RC4 state is serially dependent — every PRGA round's j depends on
+// the previous round's swap — so one state can never run faster than the
+// load-to-use latency of that chain (~4 cycles/byte on current cores). But
+// the workloads in this repository never want one keystream: the dataset
+// engine, both attacks, and the fleet workers all generate keystreams for
+// millions of *independent* keys. MultiCipher lays MultiLanes states side by
+// side — the small per-lane indices (the j of every lane) in
+// structure-of-arrays order, the S-boxes as adjacent 256-byte blocks — and
+// advances them with one shared public counter i: because i's walk is
+// key-independent, every lane is always at the same i, and one pass over a
+// lane group amortizes loop and index overhead while the CPU overlaps the
+// independent j-chains. The same trick batches the KSA: the key-mixing
+// loop's counter is public too.
+//
+// An element-major S layout (all lanes' S[p] interleaved in one row) is what
+// a gather/scatter vector unit would want — S[i] for all lanes becomes one
+// contiguous row load and the per-lane S[j] accesses a conflict-free gather
+// — but x86 offers no byte-granular scatter (AVX-512 scatters are
+// dword-wide and would clobber neighboring lanes), and on a scalar core the
+// interleaved layout loses outright: every access pays index×MultiLanes
+// address arithmetic, which profiling showed dominating the kernel. The
+// shipped kernels are therefore pure Go over lane-major S blocks, written so
+// lane offsets fold into constant load displacements and the compiler's
+// bounds-check elimination sees every index as provably in range (see
+// kernel.go). An architecture that grows a byte scatter can slot a real
+// vector kernel in behind the same dispatch (see backend.go) without
+// touching callers.
+//
+// Outputs are bitwise identical to running MultiLanes scalar Ciphers:
+// TestMultiMatchesScalar and FuzzKeystreamBackends pin every lane, key
+// length, skip offset, and window split against the scalar reference.
+package rc4
+
+import "fmt"
+
+// MultiLanes is the number of independent RC4 states a MultiCipher advances
+// in lockstep. 32 lanes saturate the out-of-order window of current x86/ARM
+// cores without pushing the working set (MultiLanes × 256-byte S-boxes) out
+// of L1; the SoA state is 8 KB.
+const MultiLanes = 32
+
+// MultiCipher is a batch of MultiLanes independent RC4 states advanced in
+// lockstep. The zero value is not keyed; call Rekey before generating. All
+// lanes always sit at the same public counter i — the batch APIs only ever
+// advance every lane by the same amount, which is what keeps the shared-i
+// invariant (and the whole SoA scheme) sound.
+type MultiCipher struct {
+	i uint8
+	j [MultiLanes]uint8
+	// s holds the MultiLanes permutations lane-major: lane l's S[p] lives
+	// at s[l*StateSize+p], so a lane group's blocks sit at constant
+	// offsets from one base (see kernel.go for why this beats an
+	// element-major interleave on scalar cores).
+	s [StateSize * MultiLanes]byte
+	// kbuf is the tiled key material reused by every Rekey, laid out like
+	// s so the KSA mixing loop reads each lane's block linearly.
+	kbuf [StateSize * MultiLanes]byte
+}
+
+// NewMulti returns an unkeyed MultiCipher.
+func NewMulti() *MultiCipher {
+	return &MultiCipher{}
+}
+
+// Lanes returns MultiLanes; callers sizing key and destination slices can
+// stay ignorant of the constant.
+func (m *MultiCipher) Lanes() int { return MultiLanes }
+
+// Rekey runs the batched KSA, keying lane l with keys[l]. Exactly MultiLanes
+// keys are required (pad a short batch by repeating a key and ignoring the
+// padded lanes' output — the dataset engine does this for tail batches). Key
+// lengths may differ between lanes; each must be 1..256 bytes.
+func (m *MultiCipher) Rekey(keys [][]byte) error {
+	if len(keys) != MultiLanes {
+		return fmt.Errorf("rc4: MultiCipher.Rekey wants %d keys, got %d", MultiLanes, len(keys))
+	}
+	for l, key := range keys {
+		if len(key) < MinKeyLen || len(key) > MaxKeyLen {
+			return fmt.Errorf("rc4: lane %d: %w", l, error(KeySizeError(len(key))))
+		}
+	}
+	// Tile each lane's key across its kbuf block, so the mixing loop
+	// indexes key material linearly — the batched sibling of the scalar
+	// ksa's kbuf.
+	for l, key := range keys {
+		blk := m.kbuf[l*StateSize : l*StateSize+StateSize]
+		for n := copy(blk, key); n < StateSize; {
+			n += copy(blk[n:], blk[:n])
+		}
+	}
+	m.ksa()
+	return nil
+}
+
+// Skip advances every lane by n keystream bytes without producing output;
+// n <= 0 is a no-op, matching Cipher.Skip.
+func (m *MultiCipher) Skip(n int) {
+	m.SkipKeystream(n, nil)
+}
+
+// Keystream fills dsts[l] with lane l's next keystream bytes. dsts must hold
+// MultiLanes equally sized buffers.
+func (m *MultiCipher) Keystream(dsts [][]byte) {
+	m.SkipKeystream(0, dsts)
+}
+
+// SkipKeystream advances every lane by skip bytes and then fills dsts — the
+// fused per-key drop-N + first-window call, like Cipher.SkipKeystream. A nil
+// dsts generates nothing after the skip; otherwise dsts must hold MultiLanes
+// buffers of one common length.
+func (m *MultiCipher) SkipKeystream(skip int, dsts [][]byte) {
+	if skip < 0 {
+		skip = 0
+	}
+	if dsts == nil {
+		if skip == 0 {
+			return
+		}
+		for l0 := 0; l0 < MultiLanes; l0 += laneGroup {
+			m.runLanes(l0, skip, nil, nil, nil, nil)
+		}
+		m.i += uint8(skip)
+		return
+	}
+	if len(dsts) != MultiLanes {
+		panic(fmt.Sprintf("rc4: MultiCipher wants %d destinations, got %d", MultiLanes, len(dsts)))
+	}
+	want := len(dsts[0])
+	for _, d := range dsts {
+		if len(d) != want {
+			panic("rc4: MultiCipher destinations differ in length")
+		}
+	}
+	if skip == 0 && want == 0 {
+		return
+	}
+	for l0 := 0; l0 < MultiLanes; l0 += laneGroup {
+		m.runLanes(l0, skip, dsts[l0], dsts[l0+1], dsts[l0+2], dsts[l0+3])
+	}
+	m.i += uint8(skip + want)
+}
+
+// Lane extracts lane l as a standalone scalar Cipher positioned exactly
+// where the lane stands — generation through the copy continues the lane's
+// keystream bit for bit. Used by tests and by callers that need to peel one
+// state out of a batch.
+func (m *MultiCipher) Lane(l int) *Cipher {
+	if l < 0 || l >= MultiLanes {
+		panic(fmt.Sprintf("rc4: lane %d out of range", l))
+	}
+	var c Cipher
+	copy(c.s[:], m.s[l*StateSize:l*StateSize+StateSize])
+	c.i, c.j = m.i, m.j[l]
+	return &c
+}
+
+// Reset zeroes all lane state so key material does not linger.
+func (m *MultiCipher) Reset() {
+	*m = MultiCipher{}
+}

@@ -1,0 +1,255 @@
+package rc4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// multiTestKeys builds MultiLanes distinct keys of length kl (or of mixed
+// lengths when kl <= 0).
+func multiTestKeys(kl int) [][]byte {
+	keys := make([][]byte, MultiLanes)
+	for l := range keys {
+		n := kl
+		if n <= 0 {
+			n = 1 + (l*7+3)%MaxKeyLen
+		}
+		key := make([]byte, n)
+		for b := range key {
+			key[b] = byte(13*b + 31*l + n)
+		}
+		keys[l] = key
+	}
+	return keys
+}
+
+func lanes(size int) [][]byte {
+	d := make([][]byte, MultiLanes)
+	for l := range d {
+		d[l] = make([]byte, size)
+	}
+	return d
+}
+
+// TestMultiMatchesScalar pins every lane of the SoA backend against an
+// independent scalar Cipher across key lengths, buffer sizes (including 0,
+// 1, and non-multiples of the unrolled 8-round block), and repeated calls so carried
+// i/j state is exercised at every alignment — the MultiCipher sibling of
+// TestKeystreamMatchesScalar.
+func TestMultiMatchesScalar(t *testing.T) {
+	sizes := []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 255, 256, 257, 511, 512, 513, 1000}
+	for _, kl := range []int{1, 2, 5, 13, 16, 32, 256, -1} {
+		keys := multiTestKeys(kl)
+		m := NewMulti()
+		if err := m.Rekey(keys); err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*Cipher, MultiLanes)
+		for l := range refs {
+			refs[l] = MustNew(keys[l])
+		}
+		for _, size := range sizes {
+			got := lanes(size)
+			m.Keystream(got)
+			for l, ref := range refs {
+				want := make([]byte, size)
+				ref.Keystream(want)
+				if !bytes.Equal(got[l], want) {
+					t.Fatalf("key len %d size %d lane %d: SoA diverged from scalar", kl, size, l)
+				}
+				if m.j[l] != ref.j {
+					t.Fatalf("key len %d size %d lane %d: j diverged (%d vs %d)", kl, size, l, m.j[l], ref.j)
+				}
+			}
+			if m.i != refs[0].i {
+				t.Fatalf("key len %d size %d: i diverged (%d vs %d)", kl, size, m.i, refs[0].i)
+			}
+		}
+	}
+}
+
+// TestMultiSkipKeystreamMatchesScalar pins the fused skip+generate call per
+// lane across skip amounts and window sizes, including skips spanning
+// multiple wraps of the public counter.
+func TestMultiSkipKeystreamMatchesScalar(t *testing.T) {
+	for _, skip := range []int{0, 1, 7, 8, 9, 100, 255, 256, 257, 1023, 1024, 1279, 4097} {
+		for _, size := range []int{0, 1, 9, 96, 257} {
+			keys := multiTestKeys(16)
+			m := NewMulti()
+			if err := m.Rekey(keys); err != nil {
+				t.Fatal(err)
+			}
+			got := lanes(size)
+			m.SkipKeystream(skip, got)
+			for l := range keys {
+				ref := MustNew(keys[l])
+				want := make([]byte, size)
+				ref.SkipKeystream(skip, want)
+				if !bytes.Equal(got[l], want) {
+					t.Fatalf("skip %d size %d lane %d: diverged", skip, size, l)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiRekeyReuse checks that re-keying a dirty MultiCipher equals a
+// fresh batch — the engine re-keys one MultiCipher per shard for the whole
+// run.
+func TestMultiRekeyReuse(t *testing.T) {
+	m := NewMulti()
+	if err := m.Rekey(multiTestKeys(16)); err != nil {
+		t.Fatal(err)
+	}
+	m.Skip(999) // dirty every lane
+	keys := multiTestKeys(24)
+	if err := m.Rekey(keys); err != nil {
+		t.Fatal(err)
+	}
+	got := lanes(300)
+	m.Keystream(got)
+	for l := range keys {
+		want := make([]byte, 300)
+		MustNew(keys[l]).Keystream(want)
+		if !bytes.Equal(got[l], want) {
+			t.Fatalf("lane %d: Rekey diverged from fresh scalar", l)
+		}
+	}
+}
+
+// TestMultiLaneExtraction checks that Lane peels off a scalar Cipher that
+// continues the lane's keystream bit for bit.
+func TestMultiLaneExtraction(t *testing.T) {
+	keys := multiTestKeys(16)
+	m := NewMulti()
+	if err := m.Rekey(keys); err != nil {
+		t.Fatal(err)
+	}
+	m.Skip(100)
+	for _, l := range []int{0, 1, MultiLanes / 2, MultiLanes - 1} {
+		c := m.Lane(l)
+		ref := MustNew(keys[l])
+		ref.Skip(100)
+		got, want := make([]byte, 128), make([]byte, 128)
+		c.Keystream(got)
+		ref.Keystream(want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("lane %d: extracted cipher diverged", l)
+		}
+	}
+}
+
+// TestMultiValidation covers the error and panic contracts: wrong key
+// counts, bad key lengths, mismatched destination shapes, negative skip,
+// and out-of-range lane extraction.
+func TestMultiValidation(t *testing.T) {
+	m := NewMulti()
+	if err := m.Rekey(multiTestKeys(16)[:MultiLanes-1]); err == nil {
+		t.Error("short key batch accepted")
+	}
+	bad := multiTestKeys(16)
+	bad[3] = nil
+	if err := m.Rekey(bad); err == nil {
+		t.Error("empty lane key accepted")
+	}
+	bad[3] = make([]byte, 257)
+	if err := m.Rekey(bad); err == nil {
+		t.Error("oversized lane key accepted")
+	}
+	if err := m.Rekey(multiTestKeys(16)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Lanes() != MultiLanes {
+		t.Errorf("Lanes() = %d", m.Lanes())
+	}
+	// Negative skip is a no-op, matching Cipher.SkipKeystream.
+	got := lanes(16)
+	m.SkipKeystream(-5, got)
+	want := make([]byte, 16)
+	MustNew(multiTestKeys(16)[0]).Keystream(want)
+	if !bytes.Equal(got[0], want) {
+		t.Error("negative skip did not behave as zero")
+	}
+	mustPanic(t, "lane count", func() { m.Keystream(lanes(8)[:3]) })
+	ragged := lanes(8)
+	ragged[5] = ragged[5][:4]
+	mustPanic(t, "ragged destinations", func() { m.Keystream(ragged) })
+	mustPanic(t, "lane out of range", func() { m.Lane(MultiLanes) })
+	m.Reset()
+	for _, b := range m.s {
+		if b != 0 {
+			t.Fatal("Reset left state bytes")
+		}
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// --- benchmarks -----------------------------------------------------------
+//
+// The Multi benchmarks report aggregate bytes across all MultiLanes lanes,
+// so their MB/s compares directly against the single-state benchmarks above:
+// the CI keystream gate watches both families.
+
+func benchKeys() [][]byte {
+	return multiTestKeys(16)
+}
+
+func BenchmarkKeystreamMulti1K(b *testing.B) {
+	m := NewMulti()
+	if err := m.Rekey(benchKeys()); err != nil {
+		b.Fatal(err)
+	}
+	dsts := lanes(1024)
+	b.SetBytes(1024 * MultiLanes)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.Keystream(dsts)
+	}
+}
+
+func BenchmarkSkipMulti1K(b *testing.B) {
+	m := NewMulti()
+	if err := m.Rekey(benchKeys()); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1024 * MultiLanes)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.Skip(1024)
+	}
+}
+
+func BenchmarkSkipKeystreamMulti(b *testing.B) {
+	// The engine's per-key long-term pattern (1023-byte drop + 257-byte
+	// first window) across a full lane batch.
+	m := NewMulti()
+	if err := m.Rekey(benchKeys()); err != nil {
+		b.Fatal(err)
+	}
+	dsts := lanes(257)
+	b.SetBytes((1023 + 257) * MultiLanes)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.SkipKeystream(1023, dsts)
+	}
+}
+
+func BenchmarkRekeyMulti(b *testing.B) {
+	keys := benchKeys()
+	m := NewMulti()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := m.Rekey(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package analysis
+
+import "testing"
+
+func TestBasePath(t *testing.T) {
+	cases := map[string]string{
+		"rc4break/internal/rc4":                                "rc4break/internal/rc4",
+		"rc4break/internal/rc4 [rc4break/internal/rc4.test]":   "rc4break/internal/rc4",
+		"rc4break/internal/rc4_test":                           "rc4break/internal/rc4",
+		"rc4break/internal/rc4.test":                           "rc4break/internal/rc4",
+		"rc4break/internal/fleet [rc4break/internal/cmd.test]": "rc4break/internal/fleet",
+	}
+	for in, want := range cases {
+		if got := BasePath(in); got != want {
+			t.Errorf("BasePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !IsDeterministic("rc4break/internal/rc4 [rc4break/internal/rc4.test]") {
+		t.Error("test variant of a deterministic package must stay deterministic")
+	}
+	if IsDeterministic("rc4break/internal/cliutil") {
+		t.Error("cliutil is not in the deterministic set")
+	}
+}
+
+func TestAllowChecksNameAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers {
+		names[a.Name] = true
+	}
+	for check, owner := range AllowChecks {
+		if !names[owner] {
+			t.Errorf("AllowChecks[%q] names unknown analyzer %q", check, owner)
+		}
+	}
+}

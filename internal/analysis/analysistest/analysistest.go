@@ -1,0 +1,261 @@
+// Package analysistest runs the internal/analysis passes over golden testdata
+// packages and checks their diagnostics against `// want "regexp"` comments —
+// a stdlib-only miniature of golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata source line states its expected findings inline:
+//
+//	t := time.Now() // want `forbidden in deterministic package`
+//
+// Each quoted string (Go-quoted or backquoted) is a regexp that must match
+// exactly one diagnostic reported on that line; diagnostics with no matching
+// want, and wants with no matching diagnostic, both fail the test. A line
+// with no want comment asserts the analyzers stay silent there — negative
+// cases (annotation escape hatches, sanctioned patterns) are plain unmarked
+// code.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"rc4break/internal/analysis"
+)
+
+// Run type-checks the Go files in dir as a package imported as pkgPath (the
+// path is what the passes see — use a path under rc4break/internal/... to
+// exercise deterministic-package gating) and runs each analyzer, matching
+// diagnostics against the files' want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: moduleImporter(t, fset, files)}
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			PkgPath:  pkgPath,
+			Info:     info,
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", key, d.Category, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// want is one expected-diagnostic regexp at a file:line.
+type want struct {
+	key     string
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type wantSet struct{ byKey map[string][]*want }
+
+func (ws *wantSet) match(key, msg string) bool {
+	for _, w := range ws.byKey[key] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	keys := make([]string, 0, len(ws.byKey))
+	for k := range ws.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range ws.byKey[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", k, w.raw)
+			}
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{byKey: make(map[string][]*want)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, raw := range splitQuoted(t, key, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, raw, err)
+					}
+					ws.byKey[key] = append(ws.byKey[key], &want{key: key, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, key, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		q := s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s: want expects quoted regexps, got %q", key, s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want string %q", key, s)
+		}
+		tok := s[:end+2]
+		raw, err := strconv.Unquote(tok)
+		if err != nil {
+			t.Fatalf("%s: bad want string %s: %v", key, tok, err)
+		}
+		out = append(out, raw)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+// moduleImporter resolves the testdata files' imports (stdlib and module
+// packages alike) through `go list -export`, which compiles dependencies as
+// needed and reports their export-data files — the same data scripts/rc4lint
+// receives from cmd/go's vet config.
+func moduleImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	paths := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				paths[p] = true
+			}
+		}
+	}
+	exportOnce.Do(func() {
+		exportMap = make(map[string]string)
+		// One `go list` over the union of everything any testdata package
+		// imports keeps this a single subprocess for the whole test binary.
+		args := []string{"list", "-export", "-deps", "-f",
+			"{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}",
+			"rc4break/internal/snapshot", "std"}
+		cmd := exec.Command("go", args...)
+		out, err := cmd.Output()
+		if err != nil {
+			exportErr = fmt.Errorf("go list -export: %v", err)
+			return
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if p, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok {
+				exportMap[p] = file
+			}
+		}
+	})
+	if exportErr != nil {
+		t.Fatal(exportErr)
+	}
+	for p := range paths {
+		if exportMap[p] == "" {
+			t.Fatalf("no export data for testdata import %q (add it to the go list call in analysistest.go)", p)
+		}
+	}
+	compiler := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file := exportMap[path]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiler.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

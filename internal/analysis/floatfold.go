@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatFold is the module-wide float-accumulation-ordering pass. A `go func`
+// body that folds floating-point values into state captured from outside the
+// closure (`shared += x`, `acc[i] -= y`) produces sums whose bit pattern
+// depends on goroutine scheduling — exactly the bug class the fleet's
+// strict in-order lane merge exists to prevent. Workers must fold into
+// locally declared accumulators and leave the cross-worker merge to a single
+// ordered site; a site that is provably order-pinned (e.g. each goroutine
+// owns a disjoint index range and performs its folds sequentially) is
+// annotated //rc4lint:allow floatfold <why>.
+var FloatFold = &Analyzer{
+	Name: "rc4floatfold",
+	Doc: "forbid floating-point compound accumulation into captured state " +
+		"inside go-routine closures unless the merge site is annotated order-pinned",
+	Run: runFloatFold,
+}
+
+func runFloatFold(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkFloatFolds(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatFolds(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch a.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := a.Lhs[0]
+		t := pass.Info.TypeOf(lhs)
+		if t == nil || !isFloat(t) {
+			return true
+		}
+		base := baseIdent(lhs)
+		if base == nil {
+			return true
+		}
+		obj := objUse(pass.Info, base)
+		if obj == nil || declaredWithin(obj, lit.Pos(), lit.End()) {
+			// Folding into the closure's own locals (or parameters) is the
+			// sanctioned pattern: local partials, ordered merge outside.
+			return true
+		}
+		if pass.Allowed("floatfold", a.Pos()) {
+			return true
+		}
+		pass.Reportf(a.Pos(),
+			"floating-point accumulation into captured %s inside a goroutine: fold into a local partial and merge in deterministic order, or annotate the order-pinned site with //rc4lint:allow floatfold <why>",
+			base.Name)
+		return true
+	})
+}

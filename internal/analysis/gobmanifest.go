@@ -1,0 +1,36 @@
+package analysis
+
+// GobManifest registers every concrete type the repository passes into a
+// snapshot envelope (snapshot.WriteGob / WriteFileGob / EncodeGob), mapping
+// its fully qualified name to the SchemaOf fingerprint of its gob wire
+// schema. The rc4gob pass recomputes each payload's fingerprint on every run
+// and fails the build when a call site uses an unregistered type or when a
+// registered type's schema has drifted.
+//
+// Updating an entry is a statement that you have thought about the persisted
+// artifacts: either the change is gob-compatible (added fields, reordered
+// fields) and old snapshots still decode, or it is not and the envelope kind
+// string must be versioned alongside it. The diagnostic prints the exact
+// entry to paste here.
+//
+// Fingerprint semantics (see SchemaOf): exported fields only, sorted by
+// name, pointers flattened, GobEncode/MarshalBinary types rendered opaque as
+// custom(...). Field *order* changes therefore do not show up as drift —
+// matching gob, which resolves fields by name.
+var GobManifest = map[string]string{
+	// Persisted attack evidence snapshots (the -checkpoint/-merge artifacts).
+	"rc4break/internal/cookieattack.attackState": "struct{ABSAB [][]float64; Config struct{Charset []byte; CookieLen int; CounterBase int; MaxGap int; Offset int; Plaintext []byte}; FM [][]uint64; Fingerprint [16]byte; Records uint64; Stream struct{Lane uint64; Mode string; Seed int64}}",
+	"rc4break/internal/tkip.modelState":          "struct{Counts []uint64; Keys uint64; Positions int; TSC1 byte}",
+	"rc4break/internal/tkip.attackState":         "struct{Counts []uint64; Frames uint64; ModelFingerprint [16]byte; Positions []int; Stream struct{Lane uint64; Mode string; Seed int64}}",
+
+	// Fleet RPC messages (coordinator/worker wire protocol).
+	"rc4break/internal/fleet.Hello":        "struct{Fingerprint [16]byte; Worker string}",
+	"rc4break/internal/fleet.Welcome":      "struct{Job struct{Attack string; Budget uint64; Fingerprint [16]byte; LaneRecords uint64; Mode string; Seed int64}}",
+	"rc4break/internal/fleet.LeaseRequest": "struct{Worker string}",
+	"rc4break/internal/fleet.Lease":        "struct{Lane uint64; Records uint64; Start uint64; Stream struct{Lane uint64; Mode string; Seed int64}; TTL int64}",
+	"rc4break/internal/fleet.Wait":         "struct{After int64}",
+	"rc4break/internal/fleet.Stop":         "struct{Reason string}",
+	"rc4break/internal/fleet.Release":      "struct{Lane uint64; Worker string}",
+	"rc4break/internal/fleet.Evidence":     "struct{Lane uint64; Records uint64; Snapshot []byte; Stream struct{Lane uint64; Mode string; Seed int64}; Worker string}",
+	"rc4break/internal/fleet.Ack":          "struct{Err string; Lane uint64; Merged uint64; OK bool; Stop bool}",
+}

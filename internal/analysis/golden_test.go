@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rc4break/internal/analysis"
+	"rc4break/internal/analysis/analysistest"
+)
+
+func TestNonDeterminism(t *testing.T) {
+	// The fake import path puts the testdata inside the deterministic set.
+	analysistest.Run(t, "testdata/nondet", "rc4break/internal/rc4", analysis.NonDeterminism)
+}
+
+func TestNonDeterminismExemptPackage(t *testing.T) {
+	// Outside DeterministicPackages the same patterns must go unflagged.
+	analysistest.Run(t, "testdata/nondet_exempt", "test/notdeterministic", analysis.NonDeterminism)
+}
+
+func TestGoroutineHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata/goroutine", "test/goroutine", analysis.GoroutineHygiene)
+}
+
+func TestSnapshotGob(t *testing.T) {
+	analysis.GobManifest["test/gob.Registered"] = "struct{A int}"
+	analysis.GobManifest["test/gob.Drifted"] = "struct{A string}" // stale on purpose
+	defer func() {
+		delete(analysis.GobManifest, "test/gob.Registered")
+		delete(analysis.GobManifest, "test/gob.Drifted")
+	}()
+	analysistest.Run(t, "testdata/gob", "test/gob", analysis.SnapshotGob)
+}
+
+func TestFloatFold(t *testing.T) {
+	analysistest.Run(t, "testdata/floatfold", "test/floatfold", analysis.FloatFold)
+}

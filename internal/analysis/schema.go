@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SchemaOf renders a canonical fingerprint of the gob wire schema of t. Two
+// types with equal fingerprints encode/decode compatibly for the purposes the
+// repository cares about (persisted envelopes and fleet RPC messages); a
+// fingerprint change on a manifest-registered type is schema drift and must
+// be acknowledged by updating GobManifest.
+//
+// Rules mirror encoding/gob's:
+//   - only exported struct fields participate, matched by name (field order
+//     is irrelevant, so fields are listed sorted);
+//   - pointers are flattened to their element type;
+//   - a type implementing GobEncode or MarshalBinary is opaque — its schema
+//     is whatever that method emits, so the fingerprint pins only the method
+//     contract ("custom(pkg.Type)");
+//   - chans and funcs cannot be encoded and render as "!chan"/"!func", which
+//     can never match a manifest entry.
+func SchemaOf(t types.Type) string {
+	return schemaOf(t, nil)
+}
+
+func schemaOf(t types.Type, seen []*types.Named) string {
+	switch t := t.(type) {
+	case *types.Named:
+		if hasCustomEncoder(t) {
+			return "custom(" + namedName(t) + ")"
+		}
+		for _, s := range seen {
+			if s.Obj() == t.Obj() {
+				return "ref(" + namedName(t) + ")"
+			}
+		}
+		return schemaOf(t.Underlying(), append(seen, t))
+	case *types.Alias:
+		return schemaOf(types.Unalias(t), seen)
+	case *types.Pointer:
+		return schemaOf(t.Elem(), seen)
+	case *types.Basic:
+		return t.Name()
+	case *types.Slice:
+		return "[]" + schemaOf(t.Elem(), seen)
+	case *types.Array:
+		return fmt.Sprintf("[%d]%s", t.Len(), schemaOf(t.Elem(), seen))
+	case *types.Map:
+		return "map[" + schemaOf(t.Key(), seen) + "]" + schemaOf(t.Elem(), seen)
+	case *types.Struct:
+		fields := make([]string, 0, t.NumFields())
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			fields = append(fields, f.Name()+" "+schemaOf(f.Type(), seen))
+		}
+		sort.Strings(fields)
+		return "struct{" + strings.Join(fields, "; ") + "}"
+	case *types.Interface:
+		if t.Empty() {
+			return "any"
+		}
+		return "interface"
+	case *types.Chan:
+		return "!chan"
+	case *types.Signature:
+		return "!func"
+	default:
+		return "!" + t.String()
+	}
+}
+
+func namedName(t *types.Named) string {
+	obj := t.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// hasCustomEncoder reports whether t (or *t) provides its own gob wire format
+// via GobEncode or MarshalBinary.
+func hasCustomEncoder(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		if hasMethod(t, name) || hasMethod(types.NewPointer(t), name) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

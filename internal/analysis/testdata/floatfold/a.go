@@ -1,0 +1,58 @@
+// Golden input for the rc4floatfold pass.
+package a
+
+import "sync"
+
+func sharedAccumulator(parts [][]float64, wg *sync.WaitGroup) float64 {
+	var sum float64
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, v := range parts[i] {
+				sum += v // want `floating-point accumulation into captured sum`
+			}
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}
+
+func localPartials(parts [][]float64, wg *sync.WaitGroup) []float64 {
+	out := make([]float64, len(parts))
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var local float64
+			for _, v := range parts[i] {
+				local += v // local partial: the sanctioned pattern
+			}
+			out[i] = local // plain store, not a compound fold
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func disjointIndexAllowed(out, vals []float64, wg *sync.WaitGroup) {
+	for i, v := range vals {
+		wg.Add(1)
+		go func(i int, v float64) {
+			defer wg.Done()
+			out[i] += v //rc4lint:allow floatfold each goroutine owns index i exclusively
+		}(i, v)
+	}
+	wg.Wait()
+}
+
+func integerFold(counts, vals []uint64, wg *sync.WaitGroup) {
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counts[i] += vals[i] // integer accumulation commutes bitwise
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,74 @@
+// Golden input for the rc4gob pass. The driving test registers
+// test/gob.Registered (matching schema) and test/gob.Drifted (stale schema)
+// in GobManifest before running.
+package a
+
+import (
+	"io"
+
+	"rc4break/internal/snapshot"
+)
+
+type Registered struct{ A int }
+
+type Unregistered struct{ B string }
+
+type Drifted struct{ A int }
+
+func writeRegistered(w io.Writer) error {
+	return snapshot.WriteGob(w, "k", Registered{A: 1})
+}
+
+func writeRegisteredPointer(w io.Writer) error {
+	return snapshot.WriteGob(w, "k", &Registered{A: 1}) // pointers flatten to the named type
+}
+
+func writeUnregistered(w io.Writer) error {
+	return snapshot.WriteGob(w, "k", Unregistered{}) // want `not registered`
+}
+
+func writeDrifted(w io.Writer) error {
+	return snapshot.WriteGob(w, "k", Drifted{}) // want `gob schema drift for test/gob\.Drifted`
+}
+
+func writeUnnamed(w io.Writer) error {
+	return snapshot.WriteGob(w, "k", struct{ C int }{C: 1}) // want `unnamed`
+}
+
+// encodeAny forwards its own interface parameter into a sink: it becomes a
+// sink itself, checked at its call sites instead of here.
+func encodeAny(v any) ([]byte, error) {
+	return snapshot.EncodeGob(v)
+}
+
+func callForwarder() {
+	_, _ = encodeAny(Registered{A: 1})
+	_, _ = encodeAny(Unregistered{}) // want `not registered`
+}
+
+// send wraps writeMsg wraps the sink — the fixed-point scan resolves the
+// whole chain, so send's call sites are checked too.
+func writeMsg(w io.Writer, kind string, v any) error {
+	return snapshot.WriteGob(w, kind, v)
+}
+
+func send(w io.Writer, kind string, v any) error {
+	return writeMsg(w, kind, v)
+}
+
+func callSend(w io.Writer) {
+	_ = send(w, "k", Registered{A: 1})
+	_ = send(w, "k", Unregistered{}) // want `not registered`
+}
+
+// An interface value that is not a forwarder's own parameter cannot be
+// resolved to a concrete type and is flagged at the sink.
+func launder(w io.Writer, v any) error {
+	x := v
+	return snapshot.WriteGob(w, "k", x) // want `interface type`
+}
+
+func launderAllowed(w io.Writer, v any) error {
+	x := v
+	return snapshot.WriteGob(w, "k", x) //rc4lint:allow gob golden-file fixture for the escape hatch
+}

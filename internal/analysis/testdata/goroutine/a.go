@@ -1,0 +1,95 @@
+// Golden input for the rc4goroutine pass (linkage, loop-variable capture,
+// and annotation well-formedness — this is the pass that validates every
+// //rc4lint:allow comment).
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func unlinked() {
+	go func() { // want `goroutine has no ctx/WaitGroup/channel linkage`
+		_ = 1 + 1
+	}()
+}
+
+func linkedWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func linkedContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func linkedChannel() chan int {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+	return done
+}
+
+func linkedByArgument(ctx context.Context) {
+	go work(ctx)
+}
+
+func work(ctx context.Context) { _ = ctx }
+
+func unlinkedNamed() {
+	go work(nil) // want `goroutine has no ctx/WaitGroup/channel linkage`
+}
+
+func allowedUnlinked() {
+	go func() { //rc4lint:allow goroutine golden-file fixture for the escape hatch
+		_ = 1 + 1
+	}()
+}
+
+func fanOutCapture(items []int, wg *sync.WaitGroup) {
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = items[i] // want `goroutine closure captures loop variable i`
+		}()
+	}
+}
+
+func fanOutExplicit(items []int, wg *sync.WaitGroup) {
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = items[i]
+		}(i)
+	}
+}
+
+func fanOutAllowed(items []int, wg *sync.WaitGroup) {
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = items[i] //rc4lint:allow loopcapture golden-file fixture for the escape hatch
+		}()
+	}
+}
+
+// Malformed annotations are findings themselves, and never suppress. The
+// block-comment form puts the annotation and its want marker on one line.
+
+func unknownCheck() {
+	/*rc4lint:allow nosuchcheck some reason*/ // want `unknown check "nosuchcheck"`
+	_ = 1
+}
+
+func missingJustification() {
+	/*rc4lint:allow timing*/ // want `needs a justification`
+	_ = 1
+}

@@ -1,0 +1,114 @@
+// Golden input for the rc4nondet pass. Type-checked by analysistest under the
+// fake import path rc4break/internal/rc4, so the deterministic-package gate is
+// on. Lines without a want comment assert the pass stays silent.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic package`
+}
+
+// Referencing the function value (an injected-clock default) counts as a use.
+var clockFn = time.Now // want `time\.Now in deterministic package`
+
+// A well-formed annotation suppresses the finding.
+func clockAllowed() time.Time {
+	return time.Now() //rc4lint:allow timing golden-file fixture for the escape hatch
+}
+
+// --- global math/rand ---
+
+func draw() int {
+	return rand.Intn(6) // want `global rand\.Intn in deterministic package`
+}
+
+func drawSeeded(r *rand.Rand) int {
+	return r.Intn(6) // methods on a seeded *rand.Rand are the sanctioned form
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors do not draw
+}
+
+func drawAllowed() int {
+	return rand.Intn(6) //rc4lint:allow rand golden-file fixture for the escape hatch
+}
+
+// --- map iteration order escapes ---
+
+func escapeAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order escapes via append`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func escapeFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map iteration order reaches accumulator sum`
+	}
+	return sum
+}
+
+func intFold(m map[string]uint64) uint64 {
+	var sum uint64
+	for _, v := range m {
+		sum += v // integer accumulation commutes bitwise: not flagged
+	}
+	return sum
+}
+
+func escapePrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order escapes into fmt\.Println`
+	}
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // no key/value bound: only the order-free count is observable
+	}
+	return n
+}
+
+func escapeViaTemp(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		doubled := v * 2
+		out = append(out, doubled) // want `map iteration order escapes via append`
+	}
+	return out
+}
+
+func escapeAllowed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//rc4lint:allow maporder golden-file fixture for the escape hatch
+		sum += v
+	}
+	return sum
+}

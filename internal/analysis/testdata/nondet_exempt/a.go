@@ -1,0 +1,21 @@
+// The same nondeterminism patterns outside the deterministic package set:
+// analysistest type-checks this under a path not in DeterministicPackages,
+// and rc4nondet must stay entirely silent.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time { return time.Now() }
+
+func draw() int { return rand.Intn(6) }
+
+func escape(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

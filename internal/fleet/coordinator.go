@@ -125,7 +125,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		cfg.LeaseTTL = DefaultLeaseTTL
 	}
 	if cfg.Now == nil {
-		cfg.Now = time.Now
+		cfg.Now = time.Now //rc4lint:allow timing injected-clock default; lease TTL bookkeeping only, never evidence
 	}
 	c := &Coordinator{
 		cfg:    cfg,
@@ -246,6 +246,7 @@ func (c *Coordinator) Close() {
 	l := c.listener
 	conns := make([]net.Conn, 0, len(c.conns))
 	for conn := range c.conns {
+		//rc4lint:allow maporder shutdown close set; every conn is closed, order is irrelevant
 		conns = append(conns, conn)
 	}
 	c.mu.Unlock()
@@ -351,61 +352,60 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		var rkind string
-		var reply any
+		var rep wireReply
 		switch kind {
 		case kindHello:
 			var h Hello
 			if err := snapshot.DecodeGob(payload, &h); err != nil {
 				return
 			}
-			rkind, reply = c.handleHello(h)
+			rep = c.handleHello(h)
 		case kindLeaseRequest:
 			var lr LeaseRequest
 			if err := snapshot.DecodeGob(payload, &lr); err != nil {
 				return
 			}
-			rkind, reply = c.handleLease(lr)
+			rep = c.handleLease(lr)
 		case kindEvidence:
 			var ev Evidence
 			if err := snapshot.DecodeGob(payload, &ev); err != nil {
 				return
 			}
-			rkind, reply = kindAck, c.handleEvidence(ev)
+			rep = reply(kindAck, c.handleEvidence(ev))
 		case kindRelease:
 			var rl Release
 			if err := snapshot.DecodeGob(payload, &rl); err != nil {
 				return
 			}
-			rkind, reply = kindAck, c.handleRelease(rl)
+			rep = reply(kindAck, c.handleRelease(rl))
 		default:
-			rkind, reply = kindStop, Stop{Reason: fmt.Sprintf("unknown message kind %q", kind)}
+			rep = reply(kindStop, Stop{Reason: fmt.Sprintf("unknown message kind %q", kind)})
 		}
-		if err := writeMsg(conn, rkind, reply); err != nil {
+		if err := writeReply(conn, rep); err != nil {
 			return
 		}
 	}
 }
 
-func (c *Coordinator) handleHello(h Hello) (string, any) {
+func (c *Coordinator) handleHello(h Hello) wireReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stopped {
-		return kindStop, Stop{Reason: c.stopReason}
+		return reply(kindStop, Stop{Reason: c.stopReason})
 	}
 	if h.Fingerprint != c.job.Fingerprint {
 		c.logf("worker %s turned away: attack fingerprint mismatch", h.Worker)
-		return kindStop, Stop{Reason: "attack configuration fingerprint does not match the job (check the worker's flags)"}
+		return reply(kindStop, Stop{Reason: "attack configuration fingerprint does not match the job (check the worker's flags)"})
 	}
 	c.logf("worker %s joined", h.Worker)
-	return kindWelcome, Welcome{Job: c.job}
+	return reply(kindWelcome, Welcome{Job: c.job})
 }
 
-func (c *Coordinator) handleLease(lr LeaseRequest) (string, any) {
+func (c *Coordinator) handleLease(lr LeaseRequest) wireReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stopped {
-		return kindStop, Stop{Reason: c.stopReason}
+		return reply(kindStop, Stop{Reason: c.stopReason})
 	}
 	now := c.cfg.Now()
 	for _, lane := range c.ledger.Reclaim(now) {
@@ -421,17 +421,17 @@ func (c *Coordinator) handleLease(lr LeaseRequest) (string, any) {
 		if after > time.Second {
 			after = time.Second
 		}
-		return kindWait, Wait{After: after}
+		return reply(kindWait, Wait{After: after})
 	}
 	start, records := c.job.LaneExtent(lane)
 	c.logf("leased lane %d (observations %d..%d) to %s", lane, start, start+records, lr.Worker)
-	return kindLease, Lease{
+	return reply(kindLease, Lease{
 		Lane:    lane,
 		Start:   start,
 		Records: records,
 		Stream:  c.job.LaneStream(lane),
 		TTL:     c.cfg.LeaseTTL,
-	}
+	})
 }
 
 // handleRelease returns a failed worker's lane to the pool immediately —

@@ -195,6 +195,32 @@ func writeMsg(w io.Writer, kind string, v any) error {
 	return snapshot.WriteGob(w, kind, v)
 }
 
+// wireReply is one pre-encoded reply envelope: the payload was gob-encoded
+// at a statically typed call site (see reply), so by the time a handler
+// returns, the message type is already pinned and checked.
+type wireReply struct {
+	kind    string
+	payload []byte
+	err     error // encoding failure, surfaced at the write site
+}
+
+// reply encodes a typed protocol message into a wireReply. The type
+// parameter keeps the payload's concrete type visible at every call site —
+// the hook the rc4gob pass uses to verify each reply message against the
+// schema manifest instead of losing it behind an `any` dispatch.
+func reply[M any](kind string, v M) wireReply {
+	payload, err := snapshot.EncodeGob(v)
+	return wireReply{kind: kind, payload: payload, err: err}
+}
+
+// writeReply sends one pre-encoded reply envelope.
+func writeReply(w io.Writer, r wireReply) error {
+	if r.err != nil {
+		return r.err
+	}
+	return snapshot.Write(w, r.kind, r.payload)
+}
+
 // readMsg reads one envelope and returns its kind and raw payload; the
 // caller dispatches on kind and decodes with snapshot.DecodeGob.
 func readMsg(r io.Reader) (string, []byte, error) {

@@ -198,7 +198,7 @@ func Run(cfg Config) (Result, error) {
 	if maxC <= 0 {
 		maxC = DefaultMaxCandidates
 	}
-	start := time.Now()
+	start := time.Now() //rc4lint:allow timing attack-cost metric (Result timing fields), never feeds evidence
 	var res Result
 	rejected := make(map[string]struct{})
 	for {
@@ -207,12 +207,12 @@ func Run(cfg Config) (Result, error) {
 			target = cfg.Budget
 		}
 		if target > cfg.Decoder.Observed() {
-			t0 := time.Now()
+			t0 := time.Now() //rc4lint:allow timing capture-time metric
 			if err := feed.AdvanceTo(target); err != nil {
 				res.Observed = cfg.Decoder.Observed()
 				return res, err
 			}
-			res.CaptureTime += time.Since(t0)
+			res.CaptureTime += time.Since(t0) //rc4lint:allow timing capture-time metric
 			if got := cfg.Decoder.Observed(); got < target {
 				res.Observed = got
 				return res, fmt.Errorf("online: capture stopped at %d of %d observations", got, target)
@@ -225,20 +225,20 @@ func Run(cfg Config) (Result, error) {
 		last := res.Observed >= cfg.Budget
 
 		res.Rounds++
-		t0 := time.Now()
+		t0 := time.Now() //rc4lint:allow timing decode-time metric
 		src, err := cfg.Decoder.Decode(maxC)
 		if err != nil {
 			return res, err
 		}
-		res.DecodeTime += time.Since(t0)
+		res.DecodeTime += time.Since(t0) //rc4lint:allow timing decode-time metric
 
-		t0 = time.Now()
+		t0 = time.Now() //rc4lint:allow timing oracle-time metric
 		hit, rank, walked := res.walk(src, cfg.Oracle, maxC, rejected)
-		res.OracleTime += time.Since(t0)
+		res.OracleTime += time.Since(t0) //rc4lint:allow timing oracle-time metric
 		if hit != nil {
 			res.Plaintext = hit
 			res.Rank = rank
-			res.Elapsed = time.Since(start)
+			res.Elapsed = time.Since(start) //rc4lint:allow timing total-elapsed metric
 			return res, nil
 		}
 		if cfg.Logf != nil {
@@ -250,7 +250,7 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 		if last {
-			res.Elapsed = time.Since(start)
+			res.Elapsed = time.Since(start) //rc4lint:allow timing total-elapsed metric
 			return res, ErrBudgetExhausted
 		}
 	}

@@ -1,0 +1,360 @@
+// bcecheck is the static sibling of scripts/benchdiff's perf gate: it proves
+// at compile time that no bounds check has crept back into the RC4 kernel's
+// hot loops, instead of waiting for a benchmark regression to notice one.
+//
+// It compiles rc4break/internal/rc4 directly with
+//
+//	go tool compile -d=ssa/check_bce
+//
+// (bypassing the build cache, which swallows compiler diagnostics on warm
+// runs), collects every "Found IsInBounds" / "Found IsSliceInBounds" site the
+// compiler reports, aggregates them per function, and diffs the counts
+// against the committed allowlist (scripts/bcecheck/allowlist.txt). Any drift
+// — a new bounds check in a hot loop, or a stale allowlist entry after an
+// optimization removed one — fails the run with an exact description.
+//
+// Counts are keyed per (file, function, kind) rather than per line so the
+// allowlist survives unrelated edits that shift line numbers.
+//
+// Usage:
+//
+//	go run ./scripts/bcecheck            # gate: diff against the allowlist
+//	go run ./scripts/bcecheck -update    # rewrite the allowlist from reality
+//
+// GOOS/GOARCH are pinned to linux/amd64 — the platform the perf gate runs on
+// — so the allowlist is reproducible regardless of the host.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	targetPkg  = "./internal/rc4"
+	importPath = "rc4break/internal/rc4"
+)
+
+var (
+	update    = flag.Bool("update", false, "rewrite the allowlist from the compiler's current output")
+	allowFlag = flag.String("allowlist", "", "allowlist path (default scripts/bcecheck/allowlist.txt under the module root)")
+)
+
+// pinnedEnv pins the build platform so the allowlist means the same thing on
+// every machine.
+func pinnedEnv() []string {
+	return append(os.Environ(), "GOOS=linux", "GOARCH=amd64", "CGO_ENABLED=0")
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bcecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	allowPath := *allowFlag
+	if allowPath == "" {
+		allowPath = filepath.Join(root, "scripts", "bcecheck", "allowlist.txt")
+	}
+
+	got, err := compileCounts(root)
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		if err := writeAllowlist(allowPath, got); err != nil {
+			return err
+		}
+		fmt.Printf("bcecheck: wrote %d entries to %s\n", len(got), allowPath)
+		return nil
+	}
+
+	want, err := readAllowlist(allowPath)
+	if err != nil {
+		return err
+	}
+	diffs := diff(want, got)
+	if len(diffs) == 0 {
+		fmt.Printf("bcecheck: %s clean — bounds checks match the allowlist (%d entries)\n", importPath, len(want))
+		return nil
+	}
+	for _, d := range diffs {
+		fmt.Fprintln(os.Stderr, "bcecheck: "+d)
+	}
+	return fmt.Errorf("%d bounds-check drift(s) in %s — if intentional, regenerate with `go run ./scripts/bcecheck -update` and justify in the PR", len(diffs), importPath)
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// site is one allowlist key: the enclosing function of a bounds check.
+type site struct {
+	file string // base name of the source file
+	fn   string // enclosing function (receiver-qualified for methods)
+	kind string // IsInBounds or IsSliceInBounds
+}
+
+func (s site) String() string { return fmt.Sprintf("%s %s %s", s.file, s.fn, s.kind) }
+
+// compileCounts compiles the target package with -d=ssa/check_bce and
+// aggregates the reported bounds checks per enclosing function.
+func compileCounts(root string) (map[site]int, error) {
+	// Dependency export data for -importcfg. `go list -export` compiles deps
+	// as needed and prints their export files.
+	listFmt := `{{if .Export}}packagefile {{.ImportPath}}={{.Export}}{{end}}`
+	cmd := exec.Command("go", "list", "-deps", "-export", "-f", listFmt, targetPkg)
+	cmd.Dir = root
+	cmd.Env = pinnedEnv()
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -deps -export: %v", err)
+	}
+	importcfg, err := os.CreateTemp("", "bcecheck-importcfg-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(importcfg.Name())
+	if _, err := importcfg.Write(out); err != nil {
+		return nil, err
+	}
+	importcfg.Close()
+
+	// The package's source files and language version.
+	cmd = exec.Command("go", "list", "-f",
+		`{{.Dir}}{{"\n"}}{{.Module.GoVersion}}{{"\n"}}{{range .GoFiles}}{{.}}{{"\n"}}{{end}}`, targetPkg)
+	cmd.Dir = root
+	cmd.Env = pinnedEnv()
+	cmd.Stderr = os.Stderr
+	out, err = cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v", targetPkg, err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) < 3 {
+		return nil, fmt.Errorf("go list %s: no Go files", targetPkg)
+	}
+	pkgDir, lang, files := lines[0], lines[1], lines[2:]
+
+	obj, err := os.CreateTemp("", "bcecheck-*.a")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(obj.Name())
+	obj.Close()
+
+	args := []string{"tool", "compile",
+		"-p", importPath,
+		"-importcfg", importcfg.Name(),
+		"-lang", "go" + lang,
+		"-d", "ssa/check_bce",
+		"-o", obj.Name(),
+	}
+	for _, f := range files {
+		args = append(args, filepath.Join(pkgDir, f))
+	}
+	cmd = exec.Command("go", args...)
+	cmd.Dir = root
+	cmd.Env = pinnedEnv()
+	diag, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go tool compile: %v\n%s", err, diag)
+	}
+
+	funcAt, err := functionIndex(pkgDir, files)
+	if err != nil {
+		return nil, err
+	}
+
+	counts := make(map[site]int)
+	re := regexp.MustCompile(`^(.+):(\d+):(\d+): Found (IsInBounds|IsSliceInBounds)$`)
+	sc := bufio.NewScanner(strings.NewReader(string(diag)))
+	for sc.Scan() {
+		m := re.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		file := filepath.Base(m[1])
+		line, _ := strconv.Atoi(m[2])
+		fn := funcAt(file, line)
+		if fn == "" {
+			fn = "<package scope>"
+		}
+		counts[site{file: file, fn: fn, kind: m[4]}]++
+	}
+	return counts, nil
+}
+
+// functionIndex parses the package's files and returns a lookup from
+// (base filename, line) to the enclosing top-level function's name.
+func functionIndex(dir string, files []string) (func(file string, line int) string, error) {
+	type span struct {
+		name     string
+		from, to int
+	}
+	byFile := make(map[string][]span)
+	fset := token.NewFileSet()
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, f), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range af.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				var b strings.Builder
+				if err := formatRecv(&b, fd.Recv.List[0].Type); err == nil && b.Len() > 0 {
+					name = b.String() + "." + name
+				}
+			}
+			byFile[f] = append(byFile[f], span{
+				name: name,
+				from: fset.Position(fd.Pos()).Line,
+				to:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	return func(file string, line int) string {
+		for _, s := range byFile[file] {
+			if line >= s.from && line <= s.to {
+				return s.name
+			}
+		}
+		return ""
+	}, nil
+}
+
+// formatRecv renders a receiver type expression ("*Cipher" -> "(*Cipher)",
+// "Cipher" -> "Cipher") without importing go/printer.
+func formatRecv(b *strings.Builder, t ast.Expr) error {
+	switch t := t.(type) {
+	case *ast.Ident:
+		b.WriteString(t.Name)
+		return nil
+	case *ast.StarExpr:
+		b.WriteString("(*")
+		if id, ok := t.X.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+			b.WriteString(")")
+			return nil
+		}
+		return fmt.Errorf("unsupported receiver")
+	case *ast.IndexExpr: // generic receiver T[P]
+		return formatRecv(b, t.X)
+	default:
+		return fmt.Errorf("unsupported receiver")
+	}
+}
+
+func readAllowlist(path string) (map[site]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading allowlist (generate with -update): %v", err)
+	}
+	want := make(map[site]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("%s:%d: want `<file> <function> <kind> <count>`, got %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, i+1, f[3])
+		}
+		want[site{file: f[0], fn: f[1], kind: f[2]}] = n
+	}
+	return want, nil
+}
+
+func writeAllowlist(path string, counts map[site]int) error {
+	keys := make([]site, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		if keys[i].fn != keys[j].fn {
+			return keys[i].fn < keys[j].fn
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	var b strings.Builder
+	b.WriteString("# Bounds checks the compiler is allowed to emit in " + importPath + ",\n")
+	b.WriteString("# per (file, function, kind), as reported by -d=ssa/check_bce on linux/amd64.\n")
+	b.WriteString("# Regenerate with: go run ./scripts/bcecheck -update\n")
+	b.WriteString("# A new entry here must be justified in the PR that adds it: a bounds\n")
+	b.WriteString("# check inside the keystream hot loops is a perf regression (see the\n")
+	b.WriteString("# deliberate prologue anchor loads in kernel.go that keep the loops clean).\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %s %s %d\n", k.file, k.fn, k.kind, counts[k])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// diff reports every mismatch between the allowlist and reality.
+func diff(want, got map[site]int) []string {
+	var out []string
+	keys := make(map[site]bool)
+	for k := range want {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]site, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].String() < sorted[j].String() })
+	for _, k := range sorted {
+		w, g := want[k], got[k]
+		switch {
+		case w == g:
+		case w == 0:
+			out = append(out, fmt.Sprintf("NEW bounds check: %s ×%d (not in allowlist)", k, g))
+		case g == 0:
+			out = append(out, fmt.Sprintf("STALE allowlist entry: %s ×%d no longer emitted (compiler eliminated it — remove the entry)", k, w))
+		default:
+			out = append(out, fmt.Sprintf("COUNT drift: %s — allowlist %d, compiler now emits %d", k, w, g))
+		}
+	}
+	return out
+}

@@ -15,6 +15,12 @@
 // repeats to the fastest run on both sides before diffing:
 //
 //	go run ./scripts/benchdiff -gate 'Keystream|Skip' -min -threshold 0.6 BENCH_pr5.json bench.json
+//
+// The -gate family has a static sibling: scripts/bcecheck compiles the same
+// internal/rc4 kernels with -d=ssa/check_bce and fails CI when a bounds
+// check drifts from its committed allowlist — catching at compile time the
+// hot-loop regressions this gate would otherwise only see as a throughput
+// drop (and catching them even when they hide inside runner noise).
 package main
 
 import (

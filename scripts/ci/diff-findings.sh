@@ -1,0 +1,36 @@
+#!/bin/sh
+# diff-findings.sh <baseline> <current>
+#
+# Fail-on-new-only gate for third-party analyzers: exits nonzero iff
+# <current> contains a line absent from <baseline>. Comment (#) and blank
+# lines in the baseline are ignored. Baselined findings that no longer
+# occur are reported as stale (clean them up) but do not fail the run.
+#
+# Regenerate a baseline by running the tool and committing its output:
+#   staticcheck ./... > ci/staticcheck-baseline.txt
+set -eu
+
+baseline=$1
+current=$2
+
+tmp_base=$(mktemp)
+tmp_cur=$(mktemp)
+trap 'rm -f "$tmp_base" "$tmp_cur"' EXIT
+
+grep -v '^[[:space:]]*#' "$baseline" | grep -v '^[[:space:]]*$' | sort -u > "$tmp_base" || true
+grep -v '^[[:space:]]*$' "$current" | sort -u > "$tmp_cur" || true
+
+stale=$(comm -23 "$tmp_base" "$tmp_cur" || true)
+if [ -n "$stale" ]; then
+    echo "stale baseline entries (no longer reported — remove from $baseline):"
+    echo "$stale" | sed 's/^/  /'
+fi
+
+new=$(comm -13 "$tmp_base" "$tmp_cur" || true)
+if [ -n "$new" ]; then
+    echo "NEW findings (not in $baseline):" >&2
+    echo "$new" | sed 's/^/  /' >&2
+    exit 1
+fi
+
+echo "no new findings vs $baseline"

@@ -1,0 +1,244 @@
+// rc4lint is the repository's determinism lint driver: a `go vet -vettool`
+// compatible binary running the internal/analysis suite (rc4nondet,
+// rc4goroutine, rc4gob, rc4floatfold) over every package in the module.
+//
+// Build and run:
+//
+//	go build -o bin/rc4lint ./scripts/rc4lint
+//	go vet -vettool=bin/rc4lint ./...
+//
+// The driver speaks cmd/go's vet protocol from the standard library alone
+// (the golang.org/x/tools unitchecker is deliberately not a dependency): for
+// each package, cmd/go hands it a JSON config file naming the Go sources,
+// the import map, and the export-data file of every dependency; the driver
+// parses and type-checks the package with go/parser + go/types (imports
+// resolved through the gc export data via go/importer) and runs the
+// analyzers. Diagnostics go to stderr in the usual file:line:col form and a
+// nonzero exit makes `go vet` fail the build.
+//
+// The suite needs no cross-package facts, so fact files (.vetx) are written
+// empty, and fact-only invocations (VetxOnly) are no-ops.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"rc4break/internal/analysis"
+)
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools (the same
+// shape unitchecker.Config decodes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	progname := "rc4lint"
+	var cfgFile string
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// cmd/go hashes this line into its cache key (it requires the
+			// exact "<name> version <ver>" shape), so the version embeds a
+			// content hash of this binary: rebuilding rc4lint with changed
+			// analyzers invalidates go vet's cached results.
+			fmt.Printf("%s version %s\n", progname, selfID())
+			return
+		case arg == "-flags" || arg == "--flags":
+			// cmd/go queries the tool's supported flags as JSON; the suite
+			// has none — every analyzer always runs.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		case strings.HasPrefix(arg, "-"):
+			// Ignore unknown flags (e.g. analyzer enable flags a future
+			// cmd/go might pass); the suite always runs everything.
+		default:
+			cfgFile = arg
+		}
+	}
+	if cfgFile == "" {
+		fmt.Fprintf(os.Stderr, `%[1]s: the rc4break determinism lint suite (run it via go vet):
+
+	go build -o bin/%[1]s ./scripts/%[1]s
+	go vet -vettool=bin/%[1]s ./...
+
+`, progname)
+		for _, a := range analysis.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", a.Name, a.Doc)
+		}
+		os.Exit(1)
+	}
+
+	diags, err := run(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(cfgFile string) ([]string, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The suite exports no facts, but cmd/go expects the fact file to exist
+	// so dependent packages' runs can consume it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, fmt.Errorf("writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path has already been resolved through ImportMap.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	var typeErr error
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, buildArch()),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil || typeErr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		if err == nil {
+			err = typeErr
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []string
+	seen := make(map[string]bool)
+	for _, a := range analysis.Analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			PkgPath:  cfg.ImportPath,
+			Info:     info,
+			Report: func(d analysis.Diagnostic) {
+				line := fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Category, d.Message)
+				if !seen[line] {
+					seen[line] = true
+					diags = append(diags, line)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Strings(diags)
+	return diags, nil
+}
+
+// selfID returns a short content hash of the running binary.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return runtime.Version()
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return runtime.Version()
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:12])
+}
+
+func buildArch() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -436,48 +436,64 @@ func BenchmarkTraceIngest(b *testing.B) {
 			}
 		}
 	})
+	const secret = "Secur3C00kieVal+"
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cookieattack.Config{
+		CookieLen:   16,
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	}
+	master := make([]byte, 48)
+	rand.New(rand.NewSource(41)).Read(master)
+	victim, err := netsim.NewHTTPSVictim(master, req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	pw, err := trace.NewPcapWriter(&buf, trace.LinkTypeEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := netsim.NewStreamWriter(pw, trace.LinkTypeEthernet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 1 << 14 // ~10 MB of capture
+	if err := victim.WriteTrace(sw, records); err != nil {
+		b.Fatal(err)
+	}
+	capture := buf.Bytes()
 	b.Run("tls", func(b *testing.B) {
-		const secret = "Secur3C00kieVal+"
-		req, counterBase, err := netsim.AlignedRequest("site.com", "auth", secret, 64)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cfg := cookieattack.Config{
-			CookieLen:   16,
-			Offset:      req.CookieOffset(),
-			Plaintext:   req.Marshal(),
-			CounterBase: counterBase,
-			MaxGap:      128,
-			Charset:     httpmodel.CookieCharset(),
-		}
-		master := make([]byte, 48)
-		rand.New(rand.NewSource(41)).Read(master)
-		victim, err := netsim.NewHTTPSVictim(master, req)
-		if err != nil {
-			b.Fatal(err)
-		}
-		var buf bytes.Buffer
-		pw, err := trace.NewPcapWriter(&buf, trace.LinkTypeEthernet)
-		if err != nil {
-			b.Fatal(err)
-		}
-		sw, err := netsim.NewStreamWriter(pw, trace.LinkTypeEthernet)
-		if err != nil {
-			b.Fatal(err)
-		}
-		const records = 1 << 14 // ~10 MB of capture
-		if err := victim.WriteTrace(sw, records); err != nil {
-			b.Fatal(err)
-		}
-		capture := buf.Bytes()
 		b.SetBytes(int64(len(capture)))
-		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
 			a, err := cookieattack.New(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
 			stats, err := cookieattack.CollectTraceReaders(a, victim.RecordPlaintextLen(),
+				[]io.Reader{bytes.NewReader(capture)}, 0, 0, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Matched != records {
+				b.Fatalf("matched %d records", stats.Matched)
+			}
+		}
+	})
+	// The parse-bound ceiling of the same pipeline: everything up to and
+	// including record matching, with no attack to fold into. The gap
+	// between tls and tls-parse is the evidence-folding cost per capture
+	// byte (see README "Trace ingestion" for the throughput model).
+	b.Run("tls-parse", func(b *testing.B) {
+		b.SetBytes(int64(len(capture)))
+		for n := 0; n < b.N; n++ {
+			stats, err := cookieattack.CollectTraceReaders(nil, victim.RecordPlaintextLen(),
 				[]io.Reader{bytes.NewReader(capture)}, 0, 0, false)
 			if err != nil {
 				b.Fatal(err)

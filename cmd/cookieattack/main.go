@@ -199,6 +199,7 @@ func main() {
 				attack.Stream.Mode, attack.Stream.Seed))
 		}
 		attack.Stream = streamID
+		ingestStart := time.Now()
 		stats, err := cookieattack.CollectTraceFiles(attack, len(cfg.Plaintext)+tlsrec.MACSize,
 			pcapPaths, attack.Records, remaining, false)
 		if err != nil {
@@ -206,6 +207,9 @@ func main() {
 		}
 		fmt.Printf("      trace ingest: %d packets, %d TLS records (%d matched, %d other), %d flows abandoned\n",
 			stats.Packets, stats.Records, stats.Matched, stats.OtherRecords, stats.DeadFlows)
+		mb := float64(stats.Bytes) / (1 << 20)
+		fmt.Printf("      ingested %.1f MB of capture payload at %.1f MB/s\n",
+			mb, mb/time.Since(ingestStart).Seconds())
 	case *mode == "exact":
 		// An exact-mode shard can only be continued on its own cipher
 		// stream: the fast-forward below assumes the snapshot's records

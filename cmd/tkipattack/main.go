@@ -184,6 +184,7 @@ func main() {
 				attack.Stream.Mode, attack.Stream.Seed))
 		}
 		attack.Stream = streamID
+		ingestStart := time.Now()
 		stats, err := tkip.CollectTraceFiles(attack, victim.FrameLen(),
 			pcapPaths, attack.Frames, remaining, false)
 		if err != nil {
@@ -191,6 +192,9 @@ func main() {
 		}
 		fmt.Printf("      trace ingest: %d packets, %d TKIP frames (%d matched, %d dup, %d frag, %d other-length, %d skipped)\n",
 			stats.Packets, stats.Frames, stats.Matched, stats.Duplicates, stats.Fragmented, stats.OtherLength, stats.Skipped)
+		mb := float64(stats.Bytes) / (1 << 20)
+		fmt.Printf("      ingested %.1f MB of capture payload at %.1f MB/s\n",
+			mb, mb/time.Since(ingestStart).Seconds())
 	case *mode == "exact":
 		// An exact-mode shard can only be continued on its own TSC
 		// stream: the fast-forward in collectExact assumes the snapshot's

@@ -1,0 +1,186 @@
+package cookieattack
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// batchTestConfig mirrors the benchmark/netsim request shape: a 16-byte
+// cookie with ample known plaintext on both sides and the paper's gap
+// bound.
+func batchTestConfig(tb testing.TB, plen int) Config {
+	tb.Helper()
+	pt := make([]byte, plen)
+	rand.New(rand.NewSource(11)).Read(pt)
+	return Config{
+		CookieLen:   16,
+		Offset:      40,
+		Plaintext:   pt,
+		CounterBase: 7,
+		MaxGap:      128,
+	}
+}
+
+func randomBodies(n, plen, stride int, seed int64) []byte {
+	flat := make([]byte, n*stride)
+	rand.New(rand.NewSource(seed)).Read(flat)
+	return flat
+}
+
+// TestObserveRecordsMatchesScalar pins the tentpole contract: the batched
+// fold is bitwise identical to sequential ObserveRecord for any chunking
+// split and any worker count. Chunk sizes cover single records, a
+// non-divisor, a mid-size batch, and the whole capture in one call.
+func TestObserveRecordsMatchesScalar(t *testing.T) {
+	const n, plen = 200, 192
+	cfg := batchTestConfig(t, plen)
+	for _, stride := range []int{plen, plen + 23} {
+		flat := randomBodies(n, plen, stride, 42)
+
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := ref.ObserveRecord(flat[i*stride : i*stride+plen]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := snapshotBytes(t, ref)
+
+		for _, chunk := range []int{1, 7, 64, n} {
+			for _, workers := range []int{1, 4} {
+				a, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Workers = workers
+				for start := 0; start < n; start += chunk {
+					cnt := min(chunk, n-start)
+					if err := a.ObserveRecords(flat[start*stride:], cnt, stride); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if a.Records != uint64(n) {
+					t.Fatalf("stride=%d chunk=%d workers=%d: Records=%d, want %d",
+						stride, chunk, workers, a.Records, n)
+				}
+				if got := snapshotBytes(t, a); !bytes.Equal(got, want) {
+					t.Fatalf("stride=%d chunk=%d workers=%d: batched fold diverges from scalar ObserveRecord",
+						stride, chunk, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestObserveRecordsRejectsBadBatches pins the argument validation: a
+// stride shorter than the modeled plaintext is the scalar short-record
+// error, and a flat buffer shorter than its declared record count is
+// rejected before any evidence is touched.
+func TestObserveRecordsRejectsBadBatches(t *testing.T) {
+	cfg := batchTestConfig(t, 96)
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ObserveRecords(make([]byte, 96*4), 4, 95); err == nil {
+		t.Fatal("short stride accepted")
+	}
+	if err := a.ObserveRecords(make([]byte, 96*4-1), 4, 96); err == nil {
+		t.Fatal("short flat buffer accepted")
+	}
+	if err := a.ObserveRecords(nil, -1, 96); err == nil {
+		t.Fatal("negative batch size accepted")
+	}
+	if err := a.ObserveRecords(nil, 0, 96); err != nil {
+		t.Fatalf("empty batch rejected: %v", err)
+	}
+	if a.Records != 0 {
+		t.Fatalf("rejected batches advanced Records to %d", a.Records)
+	}
+	want := snapshotBytes(t, a)
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, snapshotBytes(t, fresh)) {
+		t.Fatal("rejected batches touched the evidence tables")
+	}
+}
+
+// FuzzObserveRecordsBatch cross-checks batched and scalar folding on
+// fuzzer-chosen record bodies and chunk splits — the CI fuzz-smoke leg for
+// the batch fold, next to the scanner's chunking-invariance target.
+func FuzzObserveRecordsBatch(f *testing.F) {
+	const plen = 64
+	cfg := Config{
+		CookieLen:   8,
+		Offset:      20,
+		Plaintext:   bytes.Repeat([]byte("known-pt"), plen/8),
+		CounterBase: 3,
+		MaxGap:      32,
+	}
+	f.Add([]byte("seed record bytes for the fold"), uint8(3), uint8(2))
+	f.Add(bytes.Repeat([]byte{0xA7}, 4*plen), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, chunk, workers uint8) {
+		n := len(data) / plen
+		if n == 0 || n > 64 {
+			t.Skip()
+		}
+		flat := data[:n*plen]
+		ref, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := ref.ObserveRecord(flat[i*plen : (i+1)*plen]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Workers = int(workers%8) + 1
+		step := int(chunk)%n + 1
+		for start := 0; start < n; start += step {
+			cnt := min(step, n-start)
+			if err := a.ObserveRecords(flat[start*plen:], cnt, plen); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := snapshotBytes(t, ref)
+		got := snapshotBytes(t, a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("batched fold diverges from scalar (n=%d chunk=%d workers=%d)", n, step, a.Workers)
+		}
+	})
+}
+
+// BenchmarkObserveRecords isolates the evidence-folding kernel — the hot
+// path behind BenchmarkTraceIngest/tls — at the collector's batch size.
+func BenchmarkObserveRecords(b *testing.B) {
+	const n, plen = 2048, 192
+	cfg := batchTestConfig(b, plen)
+	a, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ops int
+	for _, anchors := range a.AnchorsPerPair() {
+		ops += anchors
+	}
+	b.Logf("anchor ops per record: %d", ops)
+	flat := randomBodies(n, plen, plen, 7)
+	b.SetBytes(int64(n * plen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.ObserveRecords(flat, n, plen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprintf("%d", a.Records)
+}

@@ -54,6 +54,15 @@ type anchor struct {
 	k2  byte
 }
 
+// foldRun is one maximal run of anchors at consecutive v-row offsets:
+// anchor j of the run sits at offset q0+j (ascending) or q0-j (down), with
+// weight ws[j].
+type foldRun struct {
+	q0   int32
+	down bool
+	ws   []float64
+}
+
 // Attack accumulates ciphertext evidence.
 type Attack struct {
 	cfg     Config
@@ -62,6 +71,26 @@ type Attack struct {
 	fm      [][]uint64  // [chain][65536] ciphertext digraph counts
 	absab   [][]float64 // [chain][65536] accumulated ABSAB weights per candidate pair
 	anchors [][]anchor  // per chain link
+	// Batched-fold plan: anchors[r] split into maximal runs of consecutive
+	// v-row offsets (see vbuf) so the ObserveRecords inner loop walks the
+	// row sequentially instead of through an index indirection. With one
+	// unknown region the anchors always form exactly two runs — the forward
+	// side ascending, the backward side descending — but the split is
+	// general, so any anchor layout folds correctly. Run order and
+	// within-run order are anchors[r] order — the fold order ObserveRecord
+	// uses, which the batched path must reproduce exactly (float addition
+	// is not associative).
+	foldRuns [][]foldRun
+	// vbuf is ObserveRecords scratch: per-record pair-words over the anchor
+	// window — vbuf row cell j holds (e[vlo+j]<<8 | e[vlo+j+1]) with
+	// e[q] = body[q]^pt[q] — shared by all chain links of a batch, so the
+	// fold inner loop is one uint16 load, one XOR, one table add. Rows cover
+	// only [vlo, vlo+vw] (the span all links' anchors touch), not the whole
+	// plaintext; anchors cluster around the cookie, so the hot window is a
+	// fraction of the record and stays L2-resident alongside the active
+	// table. Only the allocation persists across calls.
+	vbuf    []uint16
+	vlo, vw int
 	Records uint64
 	// Workers bounds the parallelism of SimulateStatistics; 0 means
 	// GOMAXPROCS. Results are bitwise identical for any value.
@@ -140,7 +169,62 @@ func New(cfg Config) (*Attack, error) {
 			}
 		}
 	}
+	// The anchor window: the span of plaintext positions any link's anchors
+	// read. foldRun offsets are rebased to it so the batched fold only
+	// builds (and streams) pair-words for positions that are actually used.
+	a.vlo, a.vw = len(cfg.Plaintext), 0
+	vhi := -1
+	for r := 0; r < a.chain; r++ {
+		for _, an := range a.anchors[r] {
+			a.vlo = min(a.vlo, an.q)
+			vhi = max(vhi, an.q)
+		}
+	}
+	if vhi >= a.vlo {
+		a.vw = vhi - a.vlo + 1
+	} else {
+		a.vlo = 0
+	}
+	a.foldRuns = make([][]foldRun, a.chain)
+	for r := 0; r < a.chain; r++ {
+		a.foldRuns[r] = splitFoldRuns(a.anchors[r], a.vlo)
+	}
 	return a, nil
+}
+
+// splitFoldRuns greedily groups anchors into maximal consecutive-offset
+// runs, preserving anchor order, with offsets rebased to the anchor window
+// start vlo. A run's direction is fixed by its second element; single
+// anchors close as ascending runs.
+func splitFoldRuns(anchors []anchor, vlo int) []foldRun {
+	var runs []foldRun
+	for i := 0; i < len(anchors); {
+		run := foldRun{q0: int32(anchors[i].q - vlo), ws: []float64{anchors[i].w}}
+		j := i + 1
+		if j < len(anchors) {
+			switch anchors[j].q {
+			case anchors[i].q + 1:
+			case anchors[i].q - 1:
+				run.down = true
+			default:
+				j = i // no extension
+			}
+		}
+		if j > i {
+			step := 1
+			if run.down {
+				step = -1
+			}
+			for ; j < len(anchors) && anchors[j].q == anchors[j-1].q+step; j++ {
+				run.ws = append(run.ws, anchors[j].w)
+			}
+			i = j
+		} else {
+			i++
+		}
+		runs = append(runs, run)
+	}
+	return runs
 }
 
 // AnchorsPerPair reports how many ABSAB anchors each chain link uses — the
@@ -172,6 +256,122 @@ func (a *Attack) ObserveRecord(body []byte) error {
 	}
 	a.Records++
 	return nil
+}
+
+// ObserveRecords folds a batch of n record bodies laid out back to back in
+// flat at the given stride (only the first len(Config.Plaintext) bytes of
+// each record are read; stride may exceed that for padded layouts). It is
+// bitwise identical to calling ObserveRecord on each record in order, for
+// any batch split and any Workers value, and roughly an order of magnitude
+// faster: the scalar path cycles all 17 half-megabyte ABSAB tables per
+// record, so every table add misses cache, while the batched path goes
+// link-major — each table stays resident while the whole batch folds into
+// it — and fans the links over the Workers pool (links write disjoint
+// tables, and float adds within a link keep the exact record-then-anchor
+// order of the scalar path, so reordering links never changes a bit).
+//
+// The index algebra matches ObserveRecord by XOR associativity: with
+// e[j] = body[j]^pt[j], the scalar cell index
+//
+//	(d1^k1, d2^k2) = (body[p]^body[q]^pt[q], body[p+1]^body[q+1]^pt[q+1])
+//
+// equals (body[p]<<8 | body[p+1]) XOR (e[q]<<8 | e[q+1]). The pair-words
+// (e[q]<<8 | e[q+1]) depend only on the record, not the link, so each row
+// is computed once into vbuf and shared by all 17 links, turning the inner
+// loop into one uint16 load, one XOR, and one table add.
+func (a *Attack) ObserveRecords(flat []byte, n, stride int) error {
+	plen := len(a.cfg.Plaintext)
+	if stride < plen {
+		return errors.New("cookieattack: record shorter than modeled plaintext")
+	}
+	if n <= 0 {
+		if n < 0 {
+			return errors.New("cookieattack: negative batch size")
+		}
+		return nil
+	}
+	if len(flat) < (n-1)*stride+plen {
+		return errors.New("cookieattack: batch buffer shorter than its declared records")
+	}
+	vw := a.vw
+	if cap(a.vbuf) < n*vw {
+		a.vbuf = make([]uint16, n*vw)
+	}
+	v := a.vbuf[:n*vw]
+	if vw > 0 {
+		// An anchor at q reads pt[q] and pt[q+1], so the byte window is one
+		// wider than the pair-word window.
+		pt := a.cfg.Plaintext[a.vlo : a.vlo+vw+1]
+		for i := 0; i < n; i++ {
+			b := flat[i*stride+a.vlo : i*stride+a.vlo+vw+1]
+			row := v[i*vw : (i+1)*vw]
+			hi := b[0] ^ pt[0]
+			for j := range row {
+				lo := b[j+1] ^ pt[j+1]
+				row[j] = uint16(hi)<<8 | uint16(lo)
+				hi = lo
+			}
+		}
+	}
+	err := dataset.ForShards(a.Workers, a.chain, func(r int) error {
+		a.foldLinkBatch(r, flat, n, stride, v, vw)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	a.Records += uint64(n)
+	return nil
+}
+
+// foldLinkBatch folds one chain link's evidence for a whole batch. It only
+// touches link-local tables, which is what lets ObserveRecords run the links
+// concurrently.
+func (a *Attack) foldLinkBatch(r int, flat []byte, n, stride int, v []uint16, vw int) {
+	p := a.cfg.Offset - 1 + r
+	// New (and the snapshot loader) guarantee full 65536-cell tables; the
+	// array-pointer views let index arithmetic on uint16-ranged values prove
+	// bounds at compile time.
+	fm := (*[65536]uint64)(a.fm[r])
+	tbl := (*[65536]float64)(a.absab[r])
+	runs := a.foldRuns[r]
+	// cc is the raw ciphertext pair (body[p]<<8 | body[p+1]). When p lies
+	// inside the anchor window — the common case, since anchors cluster on
+	// both sides of the cookie — it comes from the already-hot vbuf row
+	// (row[p-vlo] holds the XORed pair, so XORing the plaintext pair back
+	// out recovers the ciphertext pair) and the hot loop never touches the
+	// flat capture copy at all.
+	ccIdx := p - a.vlo
+	ccInWin := ccIdx >= 0 && ccIdx < vw
+	ptcc := uint32(a.cfg.Plaintext[p])<<8 | uint32(a.cfg.Plaintext[p+1])
+	for i := 0; i < n; i++ {
+		row := v[i*vw : i*vw+vw]
+		var cc uint32
+		if ccInWin {
+			cc = uint32(row[ccIdx]) ^ ptcc
+		} else {
+			b := flat[i*stride:]
+			cc = uint32(b[p])<<8 | uint32(b[p+1])
+		}
+		fm[cc]++
+		for _, run := range runs {
+			q0 := int(run.q0)
+			nw := len(run.ws)
+			if !run.down {
+				// Anchor j reads pair-word row[q0+j].
+				vr := row[q0 : q0+nw]
+				for j, w := range run.ws {
+					tbl[uint32(vr[j])^cc] += w
+				}
+			} else {
+				// Anchor j reads pair-word row[q0-j].
+				vr := row[q0+1-nw : q0+1]
+				for j, w := range run.ws {
+					tbl[uint32(vr[nw-1-j])^cc] += w
+				}
+			}
+		}
+	}
 }
 
 // Likelihoods combines the FM and ABSAB evidence into one pair-likelihood

@@ -22,8 +22,21 @@ import (
 // that ran out of capture before the range was filled.
 var ErrTraceShort = errors.New("cookieattack: capture ended before the requested observation range was filled")
 
+// foldBatch is how many matched record bodies the collector accumulates
+// before one ObserveRecords call. The fold cycles all 17 half-megabyte
+// ABSAB tables through L2 once per batch, so the batch must be large enough
+// to amortize that refill across many records (2048 records × ~258 anchors
+// ≈ 528K table hits per 512 KB refill, a ~1.5% miss rate on a 2 MB L2)
+// while keeping the flat copy buffer and the fold scratch a few MB — far
+// inside the streaming-memory bound the round-trip tests pin. Evidence is
+// bitwise independent of this value.
+const foldBatch = 2048
+
 // TraceStats reports what one ingest pass saw.
 type TraceStats struct {
+	// Bytes counts capture payload bytes handed up by the container parser
+	// — the numerator of an ingest throughput figure.
+	Bytes uint64
 	// Packets counts container records; Segments counts parsed TCP
 	// segments; Records counts complete TLS application-data records
 	// across all flows.
@@ -48,6 +61,9 @@ type flowScan struct {
 
 // TraceCollector streams captures into an Attack; see tkip.TraceCollector
 // for the range semantics (Start skips, Max bounds, zero Max = unbounded).
+// A nil Attack runs the full parse/reassembly/scan pipeline without folding
+// anything — the parse-only mode experiments use to split an ingest
+// throughput figure into its parse-bound and fold-bound parts.
 type TraceCollector struct {
 	Attack *Attack
 	// WantLen is the aligned request's encrypted record body length
@@ -61,6 +77,16 @@ type TraceCollector struct {
 	asm        trace.Assembler
 	flows      map[trace.FlowKey]*flowScan
 	observeErr error
+
+	// In-range matched record bodies are copied (first plen bytes only)
+	// into batch in capture order and folded foldBatch at a time through
+	// Attack.ObserveRecords — bitwise identical to per-record folding for
+	// any packet/segment/batch split. The copy is what lets the TLS scanner
+	// hand out zero-copy views: the view dies with the callback, the batch
+	// row survives until the fold.
+	batch  []byte
+	batchN int
+	plen   int
 }
 
 // Done reports whether a bounded collector has filled its range.
@@ -69,12 +95,17 @@ func (c *TraceCollector) Done() bool {
 }
 
 // Ingest drains one capture stream into the attack, stopping early once a
-// bounded range is filled.
+// bounded range is filled. A latched fold error fails fast: once any record
+// is rejected the rest of the capture cannot repair the evidence, so paying
+// full parse cost for it would only delay the report.
 func (c *TraceCollector) Ingest(r *trace.Reader) error {
 	if c.flows == nil {
 		c.flows = make(map[trace.FlowKey]*flowScan)
 	}
 	for !c.Done() {
+		if c.observeErr != nil {
+			return c.observeErr
+		}
 		pkt, err := r.Next()
 		if err == io.EOF {
 			return nil
@@ -83,6 +114,7 @@ func (c *TraceCollector) Ingest(r *trace.Reader) error {
 			return err
 		}
 		c.Stats.Packets++
+		c.Stats.Bytes += uint64(len(pkt.Data))
 		seg, err := trace.ParseTCPPacket(pkt.LinkType, pkt.Data)
 		switch {
 		case err == nil:
@@ -108,9 +140,6 @@ func (c *TraceCollector) Ingest(r *trace.Reader) error {
 			}
 			return err
 		}
-		if c.observeErr != nil {
-			return c.observeErr
-		}
 	}
 	return nil
 }
@@ -129,11 +158,13 @@ func (c *TraceCollector) markDead(key trace.FlowKey) {
 }
 
 // Flush drains flows whose origin was never pinned by a SYN (mid-stream
-// captures). Call it once after the last Ingest.
+// captures) and folds the final partial batch. Call it once after the last
+// Ingest.
 func (c *TraceCollector) Flush() error {
 	if err := c.asm.Flush(c.deliver); err != nil {
 		return err
 	}
+	c.flushBatch()
 	return c.observeErr
 }
 
@@ -147,18 +178,7 @@ func (c *TraceCollector) deliver(key trace.FlowKey, data []byte) error {
 	if fs.dead {
 		return nil
 	}
-	err := fs.col.Feed(data, func(body []byte) {
-		c.Stats.Records++
-		c.Stats.Matched++
-		idx := c.accepted
-		c.accepted++
-		if idx < c.Start || (c.Max != 0 && idx >= c.Start+c.Max) {
-			return // outside this collector's observation range
-		}
-		if err := c.Attack.ObserveRecord(body); err != nil && c.observeErr == nil {
-			c.observeErr = err
-		}
-	})
+	err := fs.col.FeedBatch(data, c.observeBodies)
 	otherDelta := fs.col.Other - fs.lastOther
 	fs.lastOther = fs.col.Other
 	c.Stats.Records += otherDelta
@@ -170,6 +190,58 @@ func (c *TraceCollector) deliver(key trace.FlowKey, data []byte) error {
 		c.markDead(key)
 	}
 	return nil
+}
+
+// observeBodies walks one chunk of matched record bodies in stream order:
+// range accounting stays per record (so lane bounds land on exactly the
+// same records as the per-record path), and in-range bodies are copied into
+// the fold batch.
+func (c *TraceCollector) observeBodies(bodies [][]byte) {
+	for _, body := range bodies {
+		c.Stats.Records++
+		c.Stats.Matched++
+		idx := c.accepted
+		c.accepted++
+		if idx < c.Start || (c.Max != 0 && idx >= c.Start+c.Max) {
+			continue // outside this collector's observation range
+		}
+		if c.Attack == nil || c.observeErr != nil {
+			continue
+		}
+		if len(body) < len(c.Attack.cfg.Plaintext) {
+			// Same rejection ObserveRecord makes; latched here so the batch
+			// never mixes well-formed and short rows.
+			c.observeErr = errors.New("cookieattack: record shorter than modeled plaintext")
+			continue
+		}
+		c.appendToBatch(body)
+	}
+}
+
+// appendToBatch copies the modeled prefix of one record body into the fold
+// batch, folding the batch once full.
+func (c *TraceCollector) appendToBatch(body []byte) {
+	if c.batch == nil {
+		c.plen = len(c.Attack.cfg.Plaintext)
+		c.batch = make([]byte, foldBatch*c.plen)
+	}
+	copy(c.batch[c.batchN*c.plen:(c.batchN+1)*c.plen], body)
+	c.batchN++
+	if c.batchN == foldBatch {
+		c.flushBatch()
+	}
+}
+
+// flushBatch folds the pending batch rows in capture order.
+func (c *TraceCollector) flushBatch() {
+	if c.batchN == 0 {
+		return
+	}
+	n := c.batchN
+	c.batchN = 0
+	if err := c.Attack.ObserveRecords(c.batch, n, c.plen); err != nil && c.observeErr == nil {
+		c.observeErr = err
+	}
 }
 
 // CollectTraceReaders ingests a sequence of capture streams (one reader

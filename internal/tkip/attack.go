@@ -64,6 +64,23 @@ func (a *Attack) Observe(f Frame) {
 	a.Frames++
 }
 
+// ObserveFrames folds a batch of captured frames in order — the trace
+// collectors' batch contract, shared with cookieattack.ObserveRecords. The
+// per-class counts are integers, so batching cannot change a bit; the win
+// here is amortizing the call overhead and keeping the position list's
+// count rows hot across the batch.
+func (a *Attack) ObserveFrames(frames []Frame) {
+	np := len(a.Positions)
+	for i := range frames {
+		f := &frames[i]
+		base := int(f.TSC.TSC0()) * np * 256
+		for pi, pos := range a.Positions {
+			a.counts[base+pi*256+int(f.Body[pos-1])]++
+		}
+	}
+	a.Frames += uint64(len(frames))
+}
+
 // ObserveKeystreamSample folds a model-sampled observation for class tsc0
 // where the keystream byte at position index pi was z and the plaintext
 // byte was pt. Used by the simulation drivers (model mode).

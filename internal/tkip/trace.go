@@ -27,11 +27,31 @@ var ErrTraceShort = errors.New("tkip: capture ended before the requested observa
 // last 2^16 accepted TSCs catches every real retry while keeping ingest
 // memory O(MB) on arbitrarily long traces (an unbounded seen-set — what
 // netsim.Sniffer affords in-process — would grow by 8 bytes per frame).
+//
+// Eviction is strictly FIFO over accepted TSCs: accepting TSC number
+// window+1 evicts the oldest remembered TSC, after which a re-appearance of
+// that evicted TSC is accepted again — counted in Stats.Matched (and folded
+// as evidence), not Stats.Duplicates. That is the deliberate trade: a
+// duplicate separated from its original by 2^16 accepted frames is not an
+// 802.11 retransmission but a replay or a TSC wrap, and on a monotone-TSC
+// capture (what the injection scenario produces) it never happens. A
+// membership probe alone does not refresh or evict anything — only
+// acceptance advances the ring. TestTraceDedupWindowEviction pins all of
+// this at the boundary.
 const dedupWindow = 1 << 16
+
+// frameBatch is how many accepted frames the collector buffers before one
+// ObserveFrames call. Frame bodies are views into the container reader's
+// reused packet buffer, so batch rows copy the body; the flat copy buffer
+// stays O(10 KB). Counts are integers — batching cannot change a bit.
+const frameBatch = 256
 
 // TraceStats reports what one ingest pass saw, mirroring the sniffer's
 // captured/dropped split with per-reason detail.
 type TraceStats struct {
+	// Bytes counts capture payload bytes handed up by the container parser
+	// — the numerator of an ingest throughput figure.
+	Bytes uint64
 	// Packets counts container records; Frames counts parsed TKIP MPDUs.
 	Packets, Frames uint64
 	// Matched counts frames accepted as observations (unique length,
@@ -49,7 +69,10 @@ type TraceStats struct {
 // TraceCollector streams captures into an Attack. The zero range
 // (Start=0, Max=0 meaning unbounded) folds every matching frame in;
 // a fleet lane sets Start/Max to serve one lane's observation extent
-// from a larger trace.
+// from a larger trace. A nil Attack runs the full parse/filter pipeline
+// without folding — the parse-only mode experiments use to split ingest
+// throughput into parse-bound and fold-bound parts. Call Flush once after
+// the last Ingest to fold the final partial batch.
 type TraceCollector struct {
 	Attack *Attack
 	// WantLen is the injected packet's unique encrypted body length
@@ -65,6 +88,12 @@ type TraceCollector struct {
 	seen     map[TSC]struct{}
 	order    []TSC
 	next     int
+
+	// In-range frames are copied (the reader reuses its packet buffer
+	// across records, so the body view dies with the loop iteration) into
+	// a flat row buffer and folded frameBatch at a time.
+	batch  []Frame
+	bodies []byte
 }
 
 // Done reports whether a bounded collector has filled its range.
@@ -85,6 +114,7 @@ func (c *TraceCollector) Ingest(r *trace.Reader) error {
 			return err
 		}
 		c.Stats.Packets++
+		c.Stats.Bytes += uint64(len(pkt.Data))
 		frame := pkt.Data
 		fcs := false
 		switch pkt.LinkType {
@@ -131,9 +161,37 @@ func (c *TraceCollector) Ingest(r *trace.Reader) error {
 		if idx < c.Start {
 			continue // owned by an earlier lane / already-resumed evidence
 		}
-		c.Attack.Observe(Frame{TSC: tsc, Body: m.Body})
+		if c.Attack == nil {
+			continue // parse-only pass
+		}
+		c.appendToBatch(tsc, m.Body)
 	}
 	return nil
+}
+
+// appendToBatch copies one accepted frame into the fold batch, folding the
+// batch once full.
+func (c *TraceCollector) appendToBatch(tsc TSC, body []byte) {
+	if c.bodies == nil {
+		c.batch = make([]Frame, 0, frameBatch)
+		c.bodies = make([]byte, frameBatch*c.WantLen)
+	}
+	row := c.bodies[len(c.batch)*c.WantLen : (len(c.batch)+1)*c.WantLen]
+	copy(row, body)
+	c.batch = append(c.batch, Frame{TSC: tsc, Body: row})
+	if len(c.batch) == frameBatch {
+		c.Flush()
+	}
+}
+
+// Flush folds the pending batch. Safe to call repeatedly; collectTrace
+// calls it after the last source.
+func (c *TraceCollector) Flush() {
+	if len(c.batch) == 0 {
+		return
+	}
+	c.Attack.ObserveFrames(c.batch)
+	c.batch = c.batch[:0]
 }
 
 // dup reports whether the TSC was accepted recently, remembering it
@@ -176,6 +234,7 @@ func collectTrace(a *Attack, wantLen int, sources []trace.Source, start, max uin
 	if err := trace.EachSource(sources, c.Done, c.Ingest); err != nil {
 		return c.Stats, err
 	}
+	c.Flush()
 	if strict && !c.Done() {
 		return c.Stats, fmt.Errorf("%w: have %d matching frames, range needs %d",
 			ErrTraceShort, c.accepted, start+max)

@@ -37,9 +37,28 @@ func FuzzScannerFeed(f *testing.F) {
 				chunkedOut.Write(body)
 			})
 		}
-		// Once either scanner hits the desync error the comparison is over
-		// (the chunked one may have delivered fewer records before it);
-		// short of that, deliveries must be identical.
+		// FeedBatch over the same chunking must deliver the same records —
+		// the batched face is a view-collecting wrapper, never a different
+		// parse.
+		batched := &Scanner{}
+		var batchedOut bytes.Buffer
+		var batchedErr error
+		for off := 0; off < len(data) && batchedErr == nil; off += step {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			batchedErr = batched.FeedBatch(data[off:end], func(bodies [][]byte) {
+				for _, body := range bodies {
+					batchedOut.Write([]byte{byte(len(body) >> 8), byte(len(body))})
+					batchedOut.Write(body)
+				}
+			})
+		}
+
+		// Once a scanner hits the desync error the comparison is over (the
+		// chunked ones may have delivered fewer records before it); short of
+		// that, deliveries must be identical.
 		if wholeErr == nil && chunkedErr == nil {
 			if !bytes.Equal(wholeOut.Bytes(), chunkedOut.Bytes()) {
 				t.Fatalf("chunked delivery (%d bytes) differs from whole-stream delivery (%d bytes) at step %d",
@@ -48,6 +67,16 @@ func FuzzScannerFeed(f *testing.F) {
 			if whole.Records != chunked.Records || whole.Skipped != chunked.Skipped {
 				t.Fatalf("counters diverge: whole %d/%d, chunked %d/%d",
 					whole.Records, whole.Skipped, chunked.Records, chunked.Skipped)
+			}
+		}
+		if chunkedErr == nil && batchedErr == nil {
+			if !bytes.Equal(chunkedOut.Bytes(), batchedOut.Bytes()) {
+				t.Fatalf("FeedBatch delivery (%d bytes) differs from Feed delivery (%d bytes) at step %d",
+					batchedOut.Len(), chunkedOut.Len(), step)
+			}
+			if batched.Records != chunked.Records || batched.Skipped != chunked.Skipped {
+				t.Fatalf("batched counters diverge: feed %d/%d, batch %d/%d",
+					chunked.Records, chunked.Skipped, batched.Records, batched.Skipped)
 			}
 		}
 	})

@@ -13,7 +13,16 @@ import (
 // non-application-data records (handshake, alerts, change-cipher-spec), and
 // hands complete application-data record bodies to the caller.
 type Scanner struct {
-	buf []byte
+	// buf holds only the trailing partial record between Feed calls; spare
+	// is the previous buf, kept so a record body delivered out of buf stays
+	// valid while the next partial tail is stashed (the two arrays swap
+	// roles, so a delivered view is never overwritten before the following
+	// Feed call).
+	buf   []byte
+	spare []byte
+	// batch is FeedBatch's view collector; it is scratch reused across
+	// calls.
+	batch [][]byte
 	// Records and Skipped count application-data records delivered and
 	// other record types passed over.
 	Records uint64
@@ -32,44 +41,101 @@ var ErrRecordTooLarge = errors.New("tlsrec: record length exceeds TLS maximum (s
 
 const maxRecordLen = 16384 + 2048
 
-// Feed appends stream bytes and invokes deliver for every complete
+// Feed scans stream bytes and invokes deliver for every complete
 // application-data record body (the encrypted payload ‖ MAC, without the
-// 5-byte header) now available. Bodies are only valid during the callback.
+// 5-byte header) now available. Bodies are views, not copies: a record
+// completed entirely within data is delivered as a slice of data itself,
+// so bodies are only valid during the callback (the underlying packet or
+// reassembly buffer is typically reused by the caller's next read).
 //
-// Parsed records are tracked by a read offset and the buffer is compacted
-// once per Feed call, so one Feed carrying R records costs O(R + len(buf)) —
-// not the O(R·len(buf)) a per-record compaction would (a 64 KiB chunk of
-// 512-byte records holds ~126 of them).
+// Zero-copy is what makes the scan free at line rate: only the trailing
+// partial record is buffered between calls — at most one header plus
+// maxRecordLen bytes — instead of every stream byte passing through an
+// internal append+compact cycle.
 func (s *Scanner) Feed(data []byte, deliver func(body []byte)) error {
-	s.buf = append(s.buf, data...)
-	off := 0
-	for {
-		if len(s.buf)-off < HeaderSize {
-			break
+	return s.scan(data, deliver)
+}
+
+// FeedBatch is Feed with batched delivery: all record bodies completed by
+// this call are handed to deliver as one slice, in stream order. The views
+// stay valid until the next Feed/FeedBatch call on this scanner — strictly
+// longer than Feed's per-callback validity — because the scanner
+// double-buffers its partial-record stash instead of overwriting the array
+// a delivered body may alias. On ErrRecordTooLarge the records scanned
+// before the bad header are still delivered (one deliver call, then the
+// error).
+func (s *Scanner) FeedBatch(data []byte, deliver func(bodies [][]byte)) error {
+	s.batch = s.batch[:0]
+	err := s.scan(data, func(body []byte) { s.batch = append(s.batch, body) })
+	if len(s.batch) > 0 {
+		deliver(s.batch)
+	}
+	return err
+}
+
+// scan is the shared zero-copy core: complete the buffered partial record
+// first (byte-minimally), then walk whole records directly in data, then
+// stash the new partial tail. The tail stash swaps buf and spare when a
+// record was emitted out of buf this call, so that emitted view survives
+// until the next scan.
+func (s *Scanner) scan(data []byte, emit func(body []byte)) error {
+	emittedFromBuf := false
+	if len(s.buf) > 0 {
+		if len(s.buf) < HeaderSize {
+			take := min(HeaderSize-len(s.buf), len(data))
+			s.buf = append(s.buf, data[:take]...)
+			data = data[take:]
+			if len(s.buf) < HeaderSize {
+				return nil
+			}
 		}
-		length := int(binary.BigEndian.Uint16(s.buf[off+3 : off+5]))
+		length := int(binary.BigEndian.Uint16(s.buf[3:5]))
 		if length > maxRecordLen {
-			// Drop the poisoned buffer: see ErrRecordTooLarge.
+			// Drop the poisoned buffer: see ErrRecordTooLarge. The rest of
+			// data is unframeable for the same reason and is dropped with it.
 			s.buf = s.buf[:0]
 			return ErrRecordTooLarge
 		}
 		total := HeaderSize + length
-		if len(s.buf)-off < total {
+		take := min(total-len(s.buf), len(data))
+		s.buf = append(s.buf, data[:take]...)
+		data = data[take:]
+		if len(s.buf) < total {
+			return nil
+		}
+		if s.buf[0] == TypeApplicationData {
+			s.Records++
+			emit(s.buf[HeaderSize:total])
+			emittedFromBuf = true
+		} else {
+			s.Skipped++
+		}
+	}
+	off := 0
+	for len(data)-off >= HeaderSize {
+		length := int(binary.BigEndian.Uint16(data[off+3 : off+5]))
+		if length > maxRecordLen {
+			s.buf = s.buf[:0]
+			return ErrRecordTooLarge
+		}
+		total := HeaderSize + length
+		if len(data)-off < total {
 			break
 		}
-		typ := s.buf[off]
-		body := s.buf[off+HeaderSize : off+total]
-		if typ == TypeApplicationData {
+		if data[off] == TypeApplicationData {
 			s.Records++
-			deliver(body)
+			emit(data[off+HeaderSize : off+total])
 		} else {
 			s.Skipped++
 		}
 		off += total
 	}
-	if off > 0 {
-		s.buf = s.buf[:copy(s.buf, s.buf[off:])]
+	if emittedFromBuf {
+		// buf still backs the record emitted above; stash the tail in the
+		// other array so the view stays valid until the next scan.
+		s.buf, s.spare = s.spare, s.buf
 	}
+	s.buf = append(s.buf[:0], data[off:]...)
 	return nil
 }
 
@@ -95,6 +161,30 @@ func (c *CollectRequests) Feed(data []byte, deliver func(body []byte)) error {
 			return
 		}
 		c.Other++
+	})
+}
+
+// FeedBatch is Feed with batched delivery: the matching record bodies
+// completed by this call arrive as one slice, in stream order, with the
+// scanner's until-next-call view validity. The batch fold path uses this to
+// hand the attack whole chunks of matched records at once.
+func (c *CollectRequests) FeedBatch(data []byte, deliver func(bodies [][]byte)) error {
+	return c.Scanner.FeedBatch(data, func(bodies [][]byte) {
+		// Filter in place: bodies is the scanner's scratch, untouched until
+		// its next call, so compacting it costs no allocation.
+		n := 0
+		for _, body := range bodies {
+			if len(body) == c.WantLen {
+				c.Matched++
+				bodies[n] = body
+				n++
+			} else {
+				c.Other++
+			}
+		}
+		if n > 0 {
+			deliver(bodies[:n])
+		}
 	})
 }
 

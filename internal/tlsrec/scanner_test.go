@@ -237,6 +237,113 @@ func TestScannerDesyncRecovery(t *testing.T) {
 	}
 }
 
+func TestScannerZeroCopyAliasing(t *testing.T) {
+	// The scanner's performance contract: a record wholly contained in one
+	// Feed chunk is delivered as a view into that chunk — no copy. The
+	// aliasing is observable, so it is pinned, not just hoped for.
+	stream, want := sealedStream(t, []byte("aliased body"), []byte("second"))
+	var s Scanner
+	var views [][]byte
+	if err := s.Feed(stream, func(b []byte) { views = append(views, b) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("delivered %d records", len(views))
+	}
+	if &views[0][0] != &stream[HeaderSize] {
+		t.Fatal("first record body was copied instead of aliased into the fed chunk")
+	}
+	second := HeaderSize + len(want[0]) + HeaderSize
+	if &views[1][0] != &stream[second] {
+		t.Fatal("second record body was copied instead of aliased into the fed chunk")
+	}
+}
+
+func TestScannerViewValidUntilNextFeed(t *testing.T) {
+	// The validity contract: a delivered view — including one assembled in
+	// the scanner's own buffer from a split record — holds its bytes until
+	// the next Feed/FeedBatch call, even though that next call may stash a
+	// new partial record. The double-buffer swap inside scan is what makes
+	// this true; this test is the regression pin for it.
+	stream, want := sealedStream(t, []byte("split across feeds"), []byte("next partial"))
+	split := HeaderSize + 5 // mid-body of record 0
+	firstEnd := HeaderSize + len(want[0])
+
+	var s Scanner
+	var view []byte
+	deliver := func(b []byte) { view = b }
+	if err := s.Feed(stream[:split], deliver); err != nil {
+		t.Fatal(err)
+	}
+	if view != nil {
+		t.Fatal("partial record delivered early")
+	}
+	// This call completes record 0 in the scanner's buffer, delivers it,
+	// and stashes the partial record 1 — which must not land on top of the
+	// just-delivered view.
+	if err := s.Feed(stream[split:firstEnd+HeaderSize+3], deliver); err != nil {
+		t.Fatal(err)
+	}
+	if view == nil {
+		t.Fatal("completed record not delivered")
+	}
+	if !bytes.Equal(view, want[0]) {
+		t.Fatal("delivered view corrupted by the same call's tail stash")
+	}
+	// The next Feed completes the stashed record in the swapped-in buffer;
+	// it too must deliver intact, proving the swap cycle is stable.
+	if err := s.Feed(stream[firstEnd+HeaderSize+3:], deliver); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(view, want[1]) {
+		t.Fatal("second record not delivered intact after the buffer swap")
+	}
+}
+
+func TestCollectRequestsFeedBatchMatchesFeed(t *testing.T) {
+	// FeedBatch is the batched face of CollectRequests: same records, same
+	// counters, delivered as one slice of views per fed chunk.
+	req := bytes.Repeat([]byte{'r'}, 100)
+	resp := bytes.Repeat([]byte{'s'}, 40)
+	stream, bodies := sealedStream(t, req, resp, req, resp, req)
+	want := len(bodies[0])
+
+	scalar := &CollectRequests{WantLen: want}
+	var fromFeed [][]byte
+	if err := scalar.Feed(stream, func(b []byte) {
+		fromFeed = append(fromFeed, append([]byte{}, b...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	batched := &CollectRequests{WantLen: want}
+	var fromBatch [][]byte
+	var calls int
+	if err := batched.FeedBatch(stream, func(views [][]byte) {
+		calls++
+		for _, b := range views {
+			fromBatch = append(fromBatch, append([]byte{}, b...))
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("one chunk of whole records delivered in %d calls, want 1", calls)
+	}
+	if len(fromBatch) != len(fromFeed) {
+		t.Fatalf("FeedBatch delivered %d records, Feed delivered %d", len(fromBatch), len(fromFeed))
+	}
+	for i := range fromFeed {
+		if !bytes.Equal(fromBatch[i], fromFeed[i]) {
+			t.Fatalf("record %d differs between Feed and FeedBatch", i)
+		}
+	}
+	if batched.Matched != scalar.Matched || batched.Other != scalar.Other {
+		t.Fatalf("counters differ: batch=(%d,%d) scalar=(%d,%d)",
+			batched.Matched, batched.Other, scalar.Matched, scalar.Other)
+	}
+}
+
 func BenchmarkScannerFeedLargeChunk(b *testing.B) {
 	// One Feed call carrying many complete records — the §6.3 collection
 	// shape when a capture tool hands the scanner whole TCP segments.

@@ -499,6 +499,62 @@ func TestTraceIngestStreamingMemory(t *testing.T) {
 	}
 }
 
+// TestTraceCookieFoldErrorFailsFast pins the fail-fast contract: once a
+// fold error latches mid-capture, Ingest stops paying parse cost — the
+// error surfaces promptly and Stats.Packets stops advancing instead of
+// draining the rest of the capture for evidence that is already lost.
+func TestTraceCookieFoldErrorFailsFast(t *testing.T) {
+	const n = 200
+	const secret = "Secur3C00kieVal+"
+
+	var buf bytes.Buffer
+	sw, err := netsim.NewStreamWriter(newPacketWriter(t, &buf, "pcap", trace.LinkTypeEthernet), trace.LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.MSS = 200 // several packets per record: plenty of capture after the first match
+	writer := newCookieCaptureRig(t, secret, 41)
+	if err := writer.victim.WriteTrace(sw, n); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := writer.victim.RecordPlaintextLen()
+
+	// Parse-only pass: the packet count of a full drain.
+	full, err := cookieattack.CollectTraceReaders(nil, wantLen,
+		[]io.Reader{bytes.NewReader(buf.Bytes())}, 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Matched != n {
+		t.Fatalf("parse-only pass matched %d records, want %d", full.Matched, n)
+	}
+
+	// An attack modeling more plaintext than the capture's records hold:
+	// the first matched record latches a fold error.
+	long, err := cookieattack.New(cookieattack.Config{
+		CookieLen:   16,
+		Offset:      40,
+		Plaintext:   make([]byte, 2*wantLen),
+		CounterBase: 0,
+		MaxGap:      64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cookieattack.CollectTraceReaders(long, wantLen,
+		[]io.Reader{bytes.NewReader(buf.Bytes())}, 0, 0, false)
+	if err == nil {
+		t.Fatal("fold error mid-capture did not surface from ingest")
+	}
+	if stats.Packets >= full.Packets {
+		t.Fatalf("latched fold error did not stop ingest: %d packets parsed, full drain is %d",
+			stats.Packets, full.Packets)
+	}
+	if long.Records != 0 {
+		t.Fatalf("rejected records folded into evidence: Records=%d", long.Records)
+	}
+}
+
 // TestTraceWrongLinkType pins the "unknown link type" behavior: feeding a
 // capture of the wrong shape to either collector is a hard, typed error
 // naming the link type — not a silent zero-evidence pass.

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"rc4break/internal/cookieattack"
 	"rc4break/internal/fleet"
 	"rc4break/internal/httpmodel"
+	"rc4break/internal/metrics"
 	"rc4break/internal/netsim"
 	"rc4break/internal/online"
 	"rc4break/internal/tkip"
@@ -44,6 +46,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7100", "TCP address to accept workers on")
+	httpAddr := flag.String("http", "", "optional HTTP address serving /metrics and /healthz (the attackd handlers)")
 	attack := flag.String("attack", "cookie", "attack to coordinate: cookie | tkip")
 	mode := flag.String("mode", "model", "collection mode workers must run: model | exact")
 	seed := flag.Int64("seed", 1, "job base seed; lane streams derive from it")
@@ -135,6 +138,29 @@ func main() {
 	coord.Serve(l)
 	fmt.Printf("[fleet] coordinating %s/%s on %s: budget %d in %d lanes of %d, lease TTL %v\n",
 		*attack, *mode, l.Addr(), job.Budget, job.Lanes(), job.LaneRecords, *leaseTTL)
+
+	// Optional observability endpoints, the same reusable handlers attackd
+	// mounts: Prometheus text metrics over the coordinator's lane counters
+	// plus a liveness probe.
+	if *httpAddr != "" {
+		reg := metrics.NewRegistry()
+		reg.GaugeFunc("fleetd_lane_uploads_accepted", "lane snapshot uploads merged into the pool",
+			func() float64 { uploads, _, _ := coord.Stats(); return float64(uploads) })
+		reg.GaugeFunc("fleetd_lane_uploads_rejected", "lane snapshot uploads rejected",
+			func() float64 { _, rejected, _ := coord.Stats(); return float64(rejected) })
+		reg.GaugeFunc("fleetd_lanes_done", "capture lanes fully merged",
+			func() float64 { _, _, lanesDone := coord.Stats(); return float64(lanesDone) })
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /healthz", metrics.Healthz(func() error { return nil }))
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		httpErr := make(chan error, 1)
+		go func() { httpErr <- http.Serve(hl, mux) }()
+		fmt.Printf("[fleet] metrics on http://%s/metrics\n", hl.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

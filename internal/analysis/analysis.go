@@ -112,6 +112,7 @@ var DeterministicPackages = map[string]bool{
 	"rc4break/internal/fleet":        true,
 	"rc4break/internal/snapshot":     true,
 	"rc4break/internal/trace":        true,
+	"rc4break/internal/service":      true,
 }
 
 // Analyzers is the full suite in the order the driver runs them.

@@ -23,6 +23,9 @@ var GobManifest = map[string]string{
 	"rc4break/internal/tkip.modelState":          "struct{Counts []uint64; Keys uint64; Positions int; TSC1 byte}",
 	"rc4break/internal/tkip.attackState":         "struct{Counts []uint64; Frames uint64; ModelFingerprint [16]byte; Positions []int; Stream struct{Lane uint64; Mode string; Seed int64}}",
 
+	// Attack-service job manifests (the attackd store's jobs/<id> records).
+	"rc4break/internal/service.Manifest": "struct{Evidence string; ID string; Model string; Observed uint64; Result struct{Checks uint64; Error string; Plaintext []byte; Rank int; Skipped uint64; Success bool}; Rounds int; Spec struct{Attack string; Budget uint64; CaptureChunk uint64; CheckpointRounds int; DecodeEvery uint64; FirstDecode uint64; MaxCandidates int; Mode string; Secret string; Seed int64; TrainKeys uint64; Workers int}; State string; Tenant string}",
+
 	// Fleet RPC messages (coordinator/worker wire protocol).
 	"rc4break/internal/fleet.Hello":        "struct{Fingerprint [16]byte; Worker string}",
 	"rc4break/internal/fleet.Welcome":      "struct{Job struct{Attack string; Budget uint64; Fingerprint [16]byte; LaneRecords uint64; Mode string; Seed int64}}",

@@ -17,6 +17,11 @@ type RunResult struct {
 	// Attack is "cookie" or "tkip"; Mode is the collection mode.
 	Attack string `json:"attack"`
 	Mode   string `json:"mode"`
+	// Job and Tenant identify the run inside a multi-tenant service
+	// (cmd/attackd); the single-run CLIs leave them empty, and omitempty
+	// keeps their output byte-identical to the pre-service schema.
+	Job    string `json:"job,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 	// Online reports whether the closed-loop runtime drove the run.
 	Online bool `json:"online"`
 	// Success is false on budget exhaustion or a missing candidate.

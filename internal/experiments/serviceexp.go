@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"rc4break/internal/netsim"
+	"rc4break/internal/online"
+	"rc4break/internal/service"
+)
+
+// ServiceParams controls the attack-service-versus-solo comparison.
+type ServiceParams struct {
+	// Victims is the generated population size; default 8.
+	Victims int
+	// Tenants spreads the population across this many tenants; default 2.
+	Tenants int
+	// Capacity is the service scheduler's slot count; default 2.
+	Capacity int
+	// Seed drives the population generator; default 1.
+	Seed int64
+}
+
+func (p ServiceParams) withDefaults() ServiceParams {
+	if p.Victims == 0 {
+		p.Victims = 8
+	}
+	if p.Tenants == 0 {
+		p.Tenants = 2
+	}
+	if p.Capacity == 0 {
+		p.Capacity = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// serviceSpec maps a generated victim to a laptop-scale job spec: cookie
+// victims run the §6 model-mode attack at paper budgets, TKIP victims the
+// §5 attack against the shared demo-session model.
+func serviceSpec(v netsim.SimVictim) service.JobSpec {
+	if v.Attack == "tkip" {
+		return service.JobSpec{Attack: "tkip", Mode: "model", Seed: v.Seed,
+			Budget: 9 << 20, FirstDecode: 1 << 20, MaxCandidates: 1 << 12,
+			TrainKeys: 1 << 12, CheckpointRounds: 8}
+	}
+	return service.JobSpec{Attack: "cookie", Mode: "model", Seed: v.Seed, Secret: v.Secret,
+		Budget: 9 << 27, FirstDecode: 9 << 25, MaxCandidates: 1 << 10, CheckpointRounds: 8}
+}
+
+// ServiceVsSolo runs a generated victim population through the multi-tenant
+// attack service — every job contending for shared scheduler slots — and
+// re-runs each job's spec solo through online.Run. The two must agree
+// bitwise (evidence bytes, rank, observations, rounds, oracle checks); any
+// divergence is returned as an error, making this the experiment-level
+// witness of the service's scheduler-transparency invariant. The table
+// reports each job's records-to-first-success outcome, and the notes line
+// shows how far the content-addressed store deduplicated shared payloads.
+func ServiceVsSolo(p ServiceParams) (Result, error) {
+	p = p.withDefaults()
+	pop := netsim.Population(netsim.PopulationConfig{
+		Victims: p.Victims, Tenants: p.Tenants, Seed: p.Seed, TKIPEvery: 4,
+	})
+	dir, err := os.MkdirTemp("", "attackd-exp-*")
+	if err != nil {
+		return Result{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := service.OpenStore(dir)
+	if err != nil {
+		return Result{}, err
+	}
+	srv, err := service.New(service.Config{Store: store, Capacity: p.Capacity})
+	if err != nil {
+		return Result{}, err
+	}
+
+	specs := make([]service.JobSpec, len(pop))
+	ids := make([]string, len(pop))
+	start := time.Now()
+	for i, v := range pop {
+		specs[i] = serviceSpec(v)
+		st, err := srv.Submit(v.Tenant, specs[i])
+		if err != nil {
+			return Result{}, fmt.Errorf("submit victim %d: %w", i, err)
+		}
+		ids[i] = st.ID
+	}
+	srv.Wait()
+	serviceElapsed := time.Since(start)
+
+	res := Result{
+		ID:      "Service",
+		Title:   fmt.Sprintf("attack service vs solo online runs (%d jobs, %d tenants, capacity %d)", len(pop), p.Tenants, p.Capacity),
+		Columns: []string{"observed", "rounds", "rank", "success", "bitwise"},
+	}
+	soloStart := time.Now()
+	for i := range pop {
+		st, err := srv.Status(ids[i])
+		if err != nil {
+			return Result{}, err
+		}
+		solo, snap, runErr := service.SoloRun(specs[i])
+		if runErr != nil && !errors.Is(runErr, online.ErrBudgetExhausted) {
+			return Result{}, fmt.Errorf("solo run %s: %w", ids[i], runErr)
+		}
+		ev, err := srv.EvidenceBytes(ids[i])
+		if err != nil {
+			return Result{}, fmt.Errorf("evidence %s: %w", ids[i], err)
+		}
+		identical := st.State == service.StateDone &&
+			st.Success == (runErr == nil) && st.Rank == solo.Rank &&
+			st.Observed == solo.Observed && st.Rounds == solo.Rounds &&
+			st.Checks == solo.Checks && st.Plaintext == hex.EncodeToString(solo.Plaintext) &&
+			bytes.Equal(ev, snap)
+		if !identical {
+			return Result{}, fmt.Errorf("job %s diverged from its solo run: service %+v vs solo rank=%d observed=%d rounds=%d checks=%d",
+				ids[i], st, solo.Rank, solo.Observed, solo.Rounds, solo.Checks)
+		}
+		success := 0.0
+		if st.Success {
+			success = 1
+		}
+		res.Rows = append(res.Rows, Row{
+			Label:  fmt.Sprintf("%s %s (%s/%s)", ids[i], pop[i].Tenant, st.Attack, st.Mode),
+			Values: []float64{float64(st.Observed), float64(st.Rounds), float64(st.Rank), success, 1},
+		})
+	}
+	soloElapsed := time.Since(soloStart)
+	blobs, err := store.BlobCount()
+	if err != nil {
+		return Result{}, err
+	}
+	res.Notes = fmt.Sprintf("all %d jobs bitwise-identical to solo; store holds %d blobs (evidence + shared model); service %.1fs vs solo %.1fs",
+		len(pop), blobs, serviceElapsed.Seconds(), soloElapsed.Seconds())
+	return res, nil
+}

@@ -1,0 +1,223 @@
+// Package metrics is a minimal Prometheus-text-format instrumentation
+// registry shared by the repository's daemons (cmd/attackd, cmd/fleetd).
+// It deliberately implements only what those daemons expose — counters,
+// gauges, callback gauges, fixed label sets — rather than pulling in the
+// full client library: the module has a no-new-dependencies constraint, and
+// the text exposition format is small enough to emit directly.
+//
+// Families render in sorted name order and series in sorted label order, so
+// /metrics output is deterministic for a fixed set of values and diffs
+// cleanly between scrapes.
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*series // keyed by rendered label block
+}
+
+type series struct {
+	labels string // `{k="v",...}` or ""
+	val    float64
+	fn     func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter is a monotonically increasing series. All methods are safe for
+// concurrent use.
+type Counter struct {
+	reg *Registry
+	s   *series
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (callers keep counters monotonic; negative deltas are the
+// caller's bug and are applied as-is rather than hidden behind a panic).
+func (c *Counter) Add(delta float64) {
+	c.reg.mu.Lock()
+	c.s.val += delta
+	c.reg.mu.Unlock()
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	reg *Registry
+	s   *series
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.reg.mu.Lock()
+	g.s.val = v
+	g.reg.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	g.reg.mu.Lock()
+	g.s.val += delta
+	g.reg.mu.Unlock()
+}
+
+// Counter registers (or finds) the counter series for name and the given
+// label pairs ("key", "value", ...). Registering one name with conflicting
+// help strings keeps the first; a name registered as a counter cannot later
+// be a gauge (panic — that is a programming error, not a runtime condition).
+func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
+	return &Counter{reg: r, s: r.register(name, help, "counter", nil, labelPairs)}
+}
+
+// Gauge registers (or finds) the gauge series for name and label pairs.
+func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
+	return &Gauge{reg: r, s: r.register(name, help, "gauge", nil, labelPairs)}
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render time —
+// for values the owner already tracks (queue depth, jobs per state) where a
+// second copy could drift.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelPairs ...string) {
+	if fn == nil {
+		panic("metrics: nil GaugeFunc callback")
+	}
+	r.register(name, help, "gauge", fn, labelPairs)
+}
+
+func (r *Registry) register(name, help, typ string, fn func() float64, labelPairs []string) *series {
+	labels := renderLabels(labelPairs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.typ, typ))
+	}
+	s := f.series[labels]
+	if s == nil {
+		s = &series{labels: labels, fn: fn}
+		f.series[labels] = s
+	}
+	return s
+}
+
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("metrics: label pairs must come as key, value")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// Render writes the whole registry in the text exposition format.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			v := s.val
+			if s.fn != nil {
+				// Release the lock around the callback: GaugeFunc owners
+				// (the job server) may take their own locks that in turn
+				// update registry values on other paths.
+				r.mu.Unlock()
+				v = s.fn()
+				r.mu.Lock()
+			}
+			b.WriteString(f.name)
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			b.WriteByte('\n')
+		}
+	}
+	r.mu.Unlock()
+	return b.String()
+}
+
+// Handler serves the registry as a Prometheus /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}
+
+// Healthz returns a /healthz handler: 200 "ok" while ready returns nil, 503
+// with the error text otherwise. A nil ready callback is always healthy.
+func Healthz(ready func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var errDraining = errors.New("draining")
+
+func TestRenderDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z_queue_depth", "waiters").Set(3)
+	c := r.Counter("a_jobs_total", "jobs", "state", "done")
+	c.Add(2)
+	r.Counter("a_jobs_total", "jobs", "state", "failed").Inc()
+	r.GaugeFunc("m_uptime", "fixed", func() float64 { return 7.5 })
+
+	want := strings.Join([]string{
+		"# HELP a_jobs_total jobs",
+		"# TYPE a_jobs_total counter",
+		`a_jobs_total{state="done"} 2`,
+		`a_jobs_total{state="failed"} 1`,
+		"# HELP m_uptime fixed",
+		"# TYPE m_uptime gauge",
+		"m_uptime 7.5",
+		"# HELP z_queue_depth waiters",
+		"# TYPE z_queue_depth gauge",
+		"z_queue_depth 3",
+		"",
+	}, "\n")
+	if got := r.Render(); got != want {
+		t.Fatalf("render mismatch:\n got: %q\nwant: %q", got, want)
+	}
+	if got := r.Render(); got != want {
+		t.Fatal("render must be stable across calls")
+	}
+}
+
+func TestSameSeriesSharedAndLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits", "", "b", "2", "a", "1").Add(1)
+	r.Counter("hits", "", "a", "1", "b", "2").Add(1)
+	out := r.Render()
+	if !strings.Contains(out, `hits{a="1",b="2"} 2`) {
+		t.Fatalf("label order must canonicalize to one series:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "", "k", "a\"b\\c\nd").Set(1)
+	if !strings.Contains(r.Render(), `g{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", r.Render())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				_ = r.Render()
+			}
+		}()
+	}
+	wg.Wait()
+	if !strings.Contains(r.Render(), "n 8000") {
+		t.Fatalf("lost updates:\n%s", r.Render())
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up", "").Set(1)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "up 1") {
+		t.Fatalf("metrics handler: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	Healthz(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Fatalf("healthz: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	Healthz(func() error { return errDraining }).ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("unhealthy healthz: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+}

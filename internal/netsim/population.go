@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rc4break/internal/httpmodel"
+)
+
+// PopulationConfig sizes a simulated victim population — the load-generation
+// side of the multi-tenant attack service. Where the single-victim
+// simulators above model one §5.4 station or one §6.3 browser, a population
+// models the service operator's view: many independent endpoints with mixed
+// cookie lengths, staggered request timing, and distinct key material, the
+// way deployment surveys measure many concurrent real-world targets rather
+// than one lab box.
+type PopulationConfig struct {
+	// Victims is the population size.
+	Victims int
+	// Tenants spreads victims round-robin across this many tenant names
+	// ("tenant-0"..). Zero or one means a single tenant.
+	Tenants int
+	// Seed is the master seed; the whole population is a pure function of
+	// this config, so two generators with equal configs produce identical
+	// victims in identical order.
+	Seed int64
+	// CookieLens is cycled across the HTTPS victims (mixed cookie lengths).
+	// Empty defaults to {6, 7, 8}.
+	CookieLens []int
+	// TKIPEvery makes every Nth victim (1-based) a WPA-TKIP station instead
+	// of an HTTPS browser. Zero disables TKIP victims.
+	TKIPEvery int
+	// MaxJitterMS bounds the per-victim submission jitter: simulated clients
+	// do not arrive in lockstep, so load tests spread submissions over
+	// [0, MaxJitterMS) milliseconds. Zero disables jitter.
+	MaxJitterMS int
+}
+
+// SimVictim is one generated population member. Seed drives the victim's
+// capture stream (TLS master secret or simulated-statistics RNG), so a
+// victim can be replayed solo — the property the service acceptance test
+// pins: the loaded service must produce bitwise the evidence a solo run of
+// the same victim produces.
+type SimVictim struct {
+	// Index is the victim's position in the population (0-based).
+	Index int
+	// Tenant is the owning tenant's name.
+	Tenant string
+	// Attack is "cookie" or "tkip".
+	Attack string
+	// Seed is the victim's private stream seed, drawn from the master RNG.
+	Seed int64
+	// Secret is the victim's cookie value (cookie attacks; empty for TKIP).
+	Secret string
+	// CookieLen is len(Secret) for cookie attacks, zero for TKIP.
+	CookieLen int
+	// JitterMS is the victim's submission delay in [0, MaxJitterMS).
+	JitterMS int
+}
+
+// Population generates the victim set for cfg. Victim identities depend
+// only on the master seed and the victim's index-order draw — not on wall
+// clock, map order, or goroutine interleaving — so populations are stable
+// across runs and across machines.
+func Population(cfg PopulationConfig) []SimVictim {
+	lens := cfg.CookieLens
+	if len(lens) == 0 {
+		lens = []int{6, 7, 8}
+	}
+	tenants := cfg.Tenants
+	if tenants < 1 {
+		tenants = 1
+	}
+	charset := httpmodel.CookieCharset()
+	master := rand.New(rand.NewSource(cfg.Seed))
+
+	victims := make([]SimVictim, 0, cfg.Victims)
+	cookieIdx := 0
+	for i := 0; i < cfg.Victims; i++ {
+		v := SimVictim{
+			Index:  i,
+			Tenant: fmt.Sprintf("tenant-%d", i%tenants),
+			Attack: "cookie",
+			// One master draw per victim regardless of attack kind, so
+			// changing TKIPEvery never shifts later victims' seeds.
+			Seed: master.Int63(),
+		}
+		if cfg.TKIPEvery > 0 && (i+1)%cfg.TKIPEvery == 0 {
+			v.Attack = "tkip"
+		} else {
+			v.CookieLen = lens[cookieIdx%len(lens)]
+			cookieIdx++
+		}
+		// Per-victim properties come from the victim's own RNG, not the
+		// master, so they are reproducible from the SimVictim alone.
+		prng := rand.New(rand.NewSource(v.Seed))
+		if v.Attack == "cookie" {
+			secret := make([]byte, v.CookieLen)
+			for j := range secret {
+				secret[j] = charset[prng.Intn(len(charset))]
+			}
+			v.Secret = string(secret)
+		}
+		if cfg.MaxJitterMS > 0 {
+			v.JitterMS = prng.Intn(cfg.MaxJitterMS)
+		}
+		victims = append(victims, v)
+	}
+	return victims
+}

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPopulationDeterministic(t *testing.T) {
+	cfg := PopulationConfig{Victims: 12, Tenants: 3, Seed: 42, TKIPEvery: 4, MaxJitterMS: 50}
+	a := Population(cfg)
+	b := Population(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs must generate identical populations")
+	}
+	if len(a) != 12 {
+		t.Fatalf("got %d victims, want 12", len(a))
+	}
+}
+
+func TestPopulationShape(t *testing.T) {
+	cfg := PopulationConfig{Victims: 12, Tenants: 3, Seed: 7, TKIPEvery: 4, CookieLens: []int{6, 8}, MaxJitterMS: 50}
+	pop := Population(cfg)
+
+	seeds := make(map[int64]bool)
+	secrets := make(map[string]bool)
+	var cookieLens []int
+	for i, v := range pop {
+		if v.Index != i {
+			t.Fatalf("victim %d has Index %d", i, v.Index)
+		}
+		if want := "tenant-" + string(rune('0'+i%3)); v.Tenant != want {
+			t.Fatalf("victim %d tenant %q, want %q", i, v.Tenant, want)
+		}
+		if seeds[v.Seed] {
+			t.Fatalf("duplicate victim seed %d", v.Seed)
+		}
+		seeds[v.Seed] = true
+		if v.JitterMS < 0 || v.JitterMS >= 50 {
+			t.Fatalf("victim %d jitter %d out of [0,50)", i, v.JitterMS)
+		}
+		if (i+1)%4 == 0 {
+			if v.Attack != "tkip" || v.Secret != "" || v.CookieLen != 0 {
+				t.Fatalf("victim %d should be a bare TKIP station: %+v", i, v)
+			}
+			continue
+		}
+		if v.Attack != "cookie" || len(v.Secret) != v.CookieLen {
+			t.Fatalf("victim %d malformed cookie victim: %+v", i, v)
+		}
+		secrets[v.Secret] = true
+		cookieLens = append(cookieLens, v.CookieLen)
+	}
+	// Cookie lengths cycle over the configured set.
+	for i, l := range cookieLens {
+		if want := []int{6, 8}[i%2]; l != want {
+			t.Fatalf("cookie victim %d length %d, want %d", i, l, want)
+		}
+	}
+	if len(secrets) < 2 {
+		t.Fatal("secrets should differ across victims")
+	}
+}
+
+func TestPopulationSeedsStableAcrossTKIPMix(t *testing.T) {
+	// The master RNG draws one seed per victim regardless of attack kind,
+	// so toggling TKIPEvery must not shift other victims' stream seeds.
+	with := Population(PopulationConfig{Victims: 8, Seed: 9, TKIPEvery: 4})
+	without := Population(PopulationConfig{Victims: 8, Seed: 9})
+	for i := range with {
+		if with[i].Seed != without[i].Seed {
+			t.Fatalf("victim %d seed changed with TKIP mix: %d vs %d", i, with[i].Seed, without[i].Seed)
+		}
+	}
+}

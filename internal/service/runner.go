@@ -1,0 +1,366 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rc4break/internal/cliutil"
+	"rc4break/internal/cookieattack"
+	"rc4break/internal/httpmodel"
+	"rc4break/internal/netsim"
+	"rc4break/internal/online"
+	"rc4break/internal/rc4"
+	"rc4break/internal/recovery"
+	"rc4break/internal/snapshot"
+	"rc4break/internal/tkip"
+	"rc4break/internal/tlsrec"
+)
+
+// jobRuntime binds one job spec to live attack state: the decoder/oracle
+// pair the online loop drives, the mode-specific capture function, and the
+// evidence serializer the checkpoint path persists. Built identically by
+// the service runner and by SoloRun, so the two can only differ in
+// scheduling — never in evidence.
+type jobRuntime struct {
+	decoder  online.Decoder
+	oracle   online.Oracle
+	observed func() uint64
+	// capture advances the evidence to exactly target observations.
+	capture func(target uint64) error
+	// evidence serializes the attack state as snapshot-envelope bytes.
+	evidence func() ([]byte, error)
+}
+
+// newJobRuntime builds the runtime for spec, resuming from evidence bytes
+// (a prior checkpoint blob) when non-nil. TKIP jobs need their trained
+// model passed in; cookie jobs ignore it.
+func newJobRuntime(spec JobSpec, evidence []byte, model *tkip.PerTSCModel) (*jobRuntime, error) {
+	switch spec.Attack {
+	case "cookie":
+		return newCookieRuntime(spec, evidence)
+	case "tkip":
+		return newTKIPRuntime(spec, evidence, model)
+	}
+	return nil, fmt.Errorf("service: unknown attack %q", spec.Attack)
+}
+
+func newCookieRuntime(spec JobSpec, evidence []byte) (*jobRuntime, error) {
+	req, counterBase, err := netsim.AlignedRequest("site.com", "auth", spec.Secret, 64)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cookieattack.Config{
+		CookieLen:   len(spec.Secret),
+		Offset:      req.CookieOffset(),
+		Plaintext:   req.Marshal(),
+		CounterBase: counterBase,
+		MaxGap:      128,
+		Charset:     httpmodel.CookieCharset(),
+	}
+	attack, err := cookieattack.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if evidence != nil {
+		resumed, err := cookieattack.ReadSnapshot(bytes.NewReader(evidence))
+		if err != nil {
+			return nil, err
+		}
+		if resumed.Fingerprint() != attack.Fingerprint() {
+			return nil, errors.New("service: evidence blob was captured under a different cookie configuration")
+		}
+		attack = resumed
+	}
+	attack.Workers = spec.Workers
+	streamID := snapshot.StreamInfo{Mode: spec.Mode, Seed: spec.Seed}
+	if attack.Records > 0 && attack.Stream != streamID {
+		return nil, fmt.Errorf("service: evidence stream %v does not match spec stream %v", attack.Stream, streamID)
+	}
+	attack.Stream = streamID
+
+	rt := &jobRuntime{
+		decoder:  attack,
+		oracle:   &netsim.CookieServer{Secret: []byte(spec.Secret)},
+		observed: func() uint64 { return attack.Records },
+		evidence: func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := attack.WriteSnapshot(&buf)
+			return buf.Bytes(), err
+		},
+	}
+	switch spec.Mode {
+	case "model":
+		rt.capture = func(target uint64) error {
+			// Each granule derives its noise stream from the continuation
+			// point, so a run resumed at any granule boundary draws
+			// identically to an uninterrupted one.
+			rng := rand.New(rand.NewSource(cliutil.ContinuationSeed(spec.Seed, attack.Records)))
+			return attack.SimulateStatistics(rng, []byte(spec.Secret), target-attack.Records)
+		}
+	case "exact":
+		master := make([]byte, 48)
+		rand.New(rand.NewSource(spec.Seed)).Read(master)
+		victim, err := netsim.NewHTTPSVictim(master, req)
+		if err != nil {
+			return nil, err
+		}
+		victim.Skip(attack.Records) // fast-forward past resumed records
+		collector := &tlsrec.CollectRequests{WantLen: victim.RecordPlaintextLen()}
+		rt.capture = func(target uint64) error {
+			var observeErr error
+			for attack.Records < target {
+				if err := collector.Feed(victim.SendRequest(), func(body []byte) {
+					if err := attack.ObserveRecord(body); err != nil && observeErr == nil {
+						observeErr = err
+					}
+				}); err != nil {
+					return err
+				}
+				if observeErr != nil {
+					return observeErr
+				}
+			}
+			return nil
+		}
+	}
+	return rt, nil
+}
+
+func newTKIPRuntime(spec JobSpec, evidence []byte, model *tkip.PerTSCModel) (*jobRuntime, error) {
+	if model == nil {
+		return nil, errors.New("service: tkip runtime needs a trained model")
+	}
+	session := tkip.DemoSession()
+	victim := netsim.NewWiFiVictim(session, tkip.DemoPayload)
+	var attack *tkip.Attack
+	var err error
+	if evidence != nil {
+		attack, err = tkip.ReadAttackSnapshot(bytes.NewReader(evidence), model)
+	} else {
+		attack, err = tkip.NewAttack(model, tkip.TrailerPositions(len(victim.MSDU)))
+	}
+	if err != nil {
+		return nil, err
+	}
+	streamID := snapshot.StreamInfo{Mode: spec.Mode, Seed: spec.Seed}
+	if attack.Frames > 0 && attack.Stream != streamID {
+		return nil, fmt.Errorf("service: evidence stream %v does not match spec stream %v", attack.Stream, streamID)
+	}
+	attack.Stream = streamID
+
+	rt := &jobRuntime{
+		decoder: attack,
+		oracle: &tkip.TrailerOracle{
+			DA: session.DA, SA: session.SA, MSDU: victim.MSDU,
+			Confirm: netsim.ForgeryConfirm(session, victim.MSDU),
+		},
+		observed: func() uint64 { return attack.Frames },
+		evidence: func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := attack.WriteSnapshot(&buf)
+			return buf.Bytes(), err
+		},
+	}
+	switch spec.Mode {
+	case "model":
+		trailer := trueTrailer(session, victim.MSDU)
+		rt.capture = func(target uint64) error {
+			rng := rand.New(rand.NewSource(cliutil.ContinuationSeed(spec.Seed, attack.Frames)))
+			return attack.SimulateCaptures(rng, trailer, target-attack.Frames)
+		}
+	case "exact":
+		victim.Skip(attack.Frames)
+		sniffer := netsim.NewSniffer(victim.FrameLen())
+		rt.capture = func(target uint64) error {
+			for attack.Frames < target {
+				if f := victim.Transmit(); sniffer.Filter(f) {
+					attack.Observe(f)
+				}
+			}
+			return nil
+		}
+	}
+	return rt, nil
+}
+
+// trueTrailer decrypts one encapsulation with the real key to obtain the
+// plaintext MIC‖ICV the model-mode simulation feeds the sampler (the same
+// helper cmd/tkipattack uses).
+func trueTrailer(s *tkip.Session, msdu []byte) []byte {
+	f := s.Encapsulate(msdu, 0)
+	key := tkip.MixKey(s.TK, s.TA, 0)
+	plain := make([]byte, len(f.Body))
+	rc4.MustNew(key[:]).XORKeyStream(plain, f.Body)
+	return plain[len(msdu):]
+}
+
+// chunkedFeed is the service's online.Feed: it advances capture in absolute
+// granules — the next boundary is the smaller of the decode target and the
+// next multiple of chunk — acquiring one scheduler slot per granule. The
+// boundary sequence is a pure function of (chunk, target history), shared
+// bitwise by gated service runs, ungated solo runs, and resumed runs.
+type chunkedFeed struct {
+	chunk    uint64
+	observed func() uint64
+	capture  func(target uint64) error
+	// gate/ungate bracket each granule with a scheduler slot; nil for solo
+	// runs. onAdvance reports observation deltas (the records/s metric).
+	gate      func() error
+	ungate    func()
+	onAdvance func(n uint64)
+	// holding marks the slot retained past the granule that reached the
+	// decode target: the online loop decodes immediately after AdvanceTo
+	// returns, and the gated decoder inherits this slot instead of gating
+	// again. Without the carry-over, a stop signal could land between
+	// "evidence reached the decode point" and "decode ran" — a state no
+	// uninterrupted run passes through, which would desync the resumed run's
+	// cadence (the pending decode would be skipped, since cadence points are
+	// derived from the observed count).
+	holding bool
+}
+
+// AdvanceTo implements online.Feed.
+func (f *chunkedFeed) AdvanceTo(target uint64) error {
+	for {
+		at := f.observed()
+		if at >= target {
+			return nil
+		}
+		next := target
+		if f.chunk > 0 {
+			if b := (at/f.chunk + 1) * f.chunk; b < next {
+				next = b
+			}
+		}
+		if f.gate != nil && !f.holding {
+			if err := f.gate(); err != nil {
+				return err
+			}
+		}
+		err := f.capture(next)
+		if f.gate != nil {
+			if err == nil && next >= target {
+				f.holding = true // carry the slot into the decode round
+			} else {
+				f.holding = false
+				f.ungate()
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if f.onAdvance != nil {
+			f.onAdvance(f.observed() - at)
+		}
+	}
+}
+
+// gatedDecoder wraps a job's decoder so each decode round holds one
+// scheduler slot — decode rounds are the expensive half of the loop, and
+// fair-share has to cover them, not just capture. It also counts rounds
+// (the server's event/checkpoint bookkeeping) and reports per-round decode
+// latency.
+type gatedDecoder struct {
+	online.Decoder
+	// feed is the run's chunkedFeed; a slot it held through the final
+	// capture granule is inherited here instead of gating again.
+	feed    *chunkedFeed
+	gate    func() error
+	ungate  func()
+	rounds  int
+	onRound func(elapsed time.Duration)
+}
+
+func (d *gatedDecoder) Decode(max int) (src recovery.CandidateSource, err error) {
+	if d.gate != nil {
+		if d.feed != nil && d.feed.holding {
+			d.feed.holding = false // slot carried over from capture
+		} else if err := d.gate(); err != nil {
+			return nil, err
+		}
+		defer d.ungate()
+	}
+	d.rounds++
+	if d.onRound == nil {
+		return d.Decoder.Decode(max)
+	}
+	t0 := time.Now() //rc4lint:allow timing decode-round latency metric only; never reaches evidence or persisted state
+	src, err = d.Decoder.Decode(max)
+	d.onRound(time.Since(t0)) //rc4lint:allow timing decode-round latency metric only
+	return src, err
+}
+
+// sharedModels caches the deterministic demo-session per-TSC model by
+// training size. The model is a pure function of (positions, keys, master)
+// — Train is Workers-independent — so every job, every restart, and the
+// solo reference share one instance per TrainKeys and the store holds one
+// model blob.
+var sharedModels struct {
+	mu sync.Mutex
+	m  map[uint64]*tkip.PerTSCModel
+}
+
+// SharedModel trains (once per process per size) and returns the demo
+// per-TSC model for the given keys-per-class count.
+func SharedModel(trainKeys uint64) (*tkip.PerTSCModel, error) {
+	sharedModels.mu.Lock()
+	defer sharedModels.mu.Unlock()
+	if m, ok := sharedModels.m[trainKeys]; ok {
+		return m, nil
+	}
+	positions := tkip.TrailerPositions(len(netsim.NewWiFiVictim(tkip.DemoSession(), tkip.DemoPayload).MSDU))
+	m, err := tkip.Train(tkip.TrainConfig{
+		Positions:  positions[len(positions)-1],
+		KeysPerTSC: trainKeys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sharedModels.m == nil {
+		sharedModels.m = make(map[uint64]*tkip.PerTSCModel)
+	}
+	sharedModels.m[trainKeys] = m
+	return m, nil
+}
+
+// SoloRun executes one job spec start-to-finish in-process: no scheduler,
+// no store, no server — the pure function of the spec that the service
+// must reproduce bitwise. It returns the online result and the final
+// evidence snapshot bytes. A budget-exhausted run returns its result and
+// evidence alongside online.ErrBudgetExhausted.
+func SoloRun(spec JobSpec) (online.Result, []byte, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return online.Result{}, nil, err
+	}
+	var model *tkip.PerTSCModel
+	if spec.Attack == "tkip" {
+		if model, err = SharedModel(spec.TrainKeys); err != nil {
+			return online.Result{}, nil, err
+		}
+	}
+	rt, err := newJobRuntime(spec, nil, model)
+	if err != nil {
+		return online.Result{}, nil, err
+	}
+	res, runErr := online.Run(online.Config{
+		Decoder:       rt.decoder,
+		Oracle:        rt.oracle,
+		Cadence:       spec.cadence(),
+		MaxCandidates: spec.MaxCandidates,
+		Budget:        spec.Budget,
+		Feed:          &chunkedFeed{chunk: spec.CaptureChunk, observed: rt.observed, capture: rt.capture},
+	})
+	if runErr != nil && !errors.Is(runErr, online.ErrBudgetExhausted) {
+		return res, nil, runErr
+	}
+	snap, err := rt.evidence()
+	if err != nil {
+		return res, nil, err
+	}
+	return res, snap, runErr
+}

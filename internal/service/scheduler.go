@@ -1,0 +1,124 @@
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// Stop causes delivered to waiters; the server distinguishes a graceful
+// drain (checkpoint and suspend) from a simulated crash (exit without
+// touching the store — the restart test's stand-in for kill -9).
+var (
+	errDrained     = errors.New("service: scheduler drained")
+	errInterrupted = errors.New("service: scheduler interrupted")
+)
+
+// Scheduler allocates the service's bounded compute slots. Every unit of
+// job work — one capture granule, one decode round — holds one slot, so
+// Capacity bounds the process's concurrent attack computation regardless of
+// how many jobs are admitted.
+//
+// Allocation is fair-share across tenants: released slots are granted
+// round-robin over tenants with waiters (FIFO within a tenant), so one
+// tenant queueing a thousand granules cannot starve another's single job —
+// each gets alternating grants. Fairness shapes only *when* a job's next
+// granule runs, never what the granule computes; scheduler transparency is
+// the package invariant.
+type Scheduler struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	// rotation is every tenant that ever waited, in first-wait order; the
+	// cursor walks it round-robin. Tenants persist across empty periods so
+	// long-lived tenants keep stable positions.
+	rotation []string
+	cursor   int
+	queues   map[string][]chan error
+	waiting  int
+	stopErr  error
+}
+
+// NewScheduler creates a scheduler with the given slot capacity (minimum 1).
+func NewScheduler(capacity int) *Scheduler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Scheduler{capacity: capacity, queues: make(map[string][]chan error)}
+}
+
+// Acquire blocks until the tenant is granted a slot (or the scheduler is
+// stopped, returning the stop error). Callers pair every successful Acquire
+// with exactly one Release.
+func (s *Scheduler) Acquire(tenant string) error {
+	s.mu.Lock()
+	if s.stopErr != nil {
+		err := s.stopErr
+		s.mu.Unlock()
+		return err
+	}
+	if s.inUse < s.capacity {
+		s.inUse++
+		s.mu.Unlock()
+		return nil
+	}
+	w := make(chan error, 1)
+	if _, seen := s.queues[tenant]; !seen {
+		s.rotation = append(s.rotation, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], w)
+	s.waiting++
+	s.mu.Unlock()
+	return <-w
+}
+
+// Release returns a slot; if tenants are waiting the slot passes directly
+// to the next one in the rotation.
+func (s *Scheduler) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < len(s.rotation); i++ {
+		t := s.rotation[(s.cursor+i)%len(s.rotation)]
+		q := s.queues[t]
+		if len(q) == 0 {
+			continue
+		}
+		w := q[0]
+		s.queues[t] = q[1:]
+		s.waiting--
+		s.cursor = (s.cursor + i + 1) % len(s.rotation)
+		w <- nil // slot ownership transfers; inUse unchanged
+		return
+	}
+	s.inUse--
+}
+
+// Stop wakes every waiter (and all future Acquires) with err.
+func (s *Scheduler) Stop(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopErr != nil {
+		return
+	}
+	s.stopErr = err
+	for _, t := range s.rotation {
+		for _, w := range s.queues[t] {
+			w <- err
+		}
+		s.queues[t] = nil
+	}
+	s.waiting = 0
+}
+
+// Waiting reports queued Acquires (the queue-depth metric).
+func (s *Scheduler) Waiting() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiting
+}
+
+// InUse reports slots currently held.
+func (s *Scheduler) InUse() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse
+}

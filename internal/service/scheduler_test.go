@@ -1,0 +1,127 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond with a generous bound; tests use it to sequence
+// goroutines without wall-clock reads.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 20000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSchedulerCapacityBound(t *testing.T) {
+	s := NewScheduler(2)
+	for i := 0; i < 2; i++ {
+		if err := s.Acquire("a"); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := s.InUse(); got != 2 {
+		t.Fatalf("InUse = %d, want 2", got)
+	}
+	done := make(chan struct{})
+	go func() {
+		if err := s.Acquire("b"); err != nil {
+			t.Errorf("blocked acquire: %v", err)
+		}
+		close(done)
+	}()
+	waitFor(t, "third acquire to queue", func() bool { return s.Waiting() == 1 })
+	select {
+	case <-done:
+		t.Fatal("acquired a third slot with capacity 2")
+	default:
+	}
+	s.Release() // hands the slot to the waiter
+	<-done
+	if got := s.InUse(); got != 2 {
+		t.Fatalf("InUse after handoff = %d, want 2", got)
+	}
+	s.Release()
+	s.Release()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after all releases = %d, want 0", got)
+	}
+}
+
+// TestSchedulerFairShare stages three waiters from tenant a and one from
+// tenant b behind a held slot; grants must alternate round-robin across
+// tenants (FIFO within a tenant), not drain tenant a's backlog first.
+func TestSchedulerFairShare(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.Acquire("hold"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	waiters := []struct{ tenant, label string }{
+		{"a", "a1"}, {"a", "a2"}, {"a", "a3"}, {"b", "b1"},
+	}
+	for i, w := range waiters {
+		wg.Add(1)
+		go func(tenant, label string) {
+			defer wg.Done()
+			if err := s.Acquire(tenant); err != nil {
+				t.Errorf("%s: %v", label, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, label)
+			mu.Unlock()
+			s.Release()
+		}(w.tenant, w.label)
+		n := i + 1
+		waitFor(t, "waiter to queue", func() bool { return s.Waiting() == n })
+	}
+	s.Release() // cascade: each granted waiter releases to the next
+	wg.Wait()
+	want := []string{"a1", "b1", "a2", "a3"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("grant order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v (fair-share violated)", order, want)
+		}
+	}
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after cascade = %d, want 0", got)
+	}
+}
+
+func TestSchedulerStopWakesWaiters(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.Acquire("x"); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- s.Acquire("y") }()
+	go func() { errs <- s.Acquire("z") }()
+	waitFor(t, "waiters to queue", func() bool { return s.Waiting() == 2 })
+	s.Stop(errDrained)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, errDrained) {
+			t.Fatalf("waiter woke with %v, want errDrained", err)
+		}
+	}
+	if err := s.Acquire("w"); !errors.Is(err, errDrained) {
+		t.Fatalf("post-stop acquire = %v, want errDrained", err)
+	}
+	if got := s.Waiting(); got != 0 {
+		t.Fatalf("Waiting after stop = %d, want 0", got)
+	}
+}

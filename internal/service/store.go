@@ -1,0 +1,163 @@
+package service
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rc4break/internal/snapshot"
+)
+
+// Envelope kinds for the store's two artifact classes. Blob payloads are
+// themselves complete snapshot envelopes (an attack's WriteSnapshot bytes,
+// a model's Save bytes), so every consumer revalidates the inner envelope's
+// kind, CRC and fingerprint on load — the store adds content addressing on
+// top without reinventing the integrity layer.
+const (
+	blobKind     = "rc4break.service.blob.v1"
+	manifestKind = "rc4break.service.job.v1"
+)
+
+// Store is the content-addressed snapshot store behind the job server.
+// Blobs live at blobs/<hex-key> where the key is snapshot.BlobKey over the
+// payload — so equal payloads occupy one file no matter how many jobs
+// reference them (N jobs against one trained model hold one model blob, and
+// equal-spec jobs share evidence checkpoints). Job manifests live at
+// jobs/<id>. All writes go through the envelope's atomic temp+fsync+rename
+// path, so a crash at any instant leaves either the old or the new bytes,
+// never a torn file.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	for _, sub := range []string{"blobs", "jobs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store root.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) blobPath(key [16]byte) string {
+	return filepath.Join(st.dir, "blobs", hex.EncodeToString(key[:]))
+}
+
+// PutBlob stores payload under its content address and reports the key and
+// whether an identical blob was already present (the dedup hit: the write
+// is skipped — same key means same kind and same bytes).
+func (st *Store) PutBlob(payload []byte) (key [16]byte, existed bool, err error) {
+	key = snapshot.BlobKey(blobKind, payload)
+	path := st.blobPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return key, true, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return key, false, err
+	}
+	return key, false, snapshot.WriteFile(path, blobKind, payload)
+}
+
+// GetBlob loads the payload stored under key, re-deriving the content
+// address from the bytes read: a blob that no longer hashes to its own name
+// (disk corruption below the envelope CRC's granularity, or a renamed file)
+// fails loudly instead of feeding a job wrong evidence.
+func (st *Store) GetBlob(key [16]byte) ([]byte, error) {
+	f, err := os.Open(st.blobPath(key))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	kind, payload, err := snapshot.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if kind != blobKind {
+		return nil, fmt.Errorf("service: blob %x holds envelope kind %q", key, kind)
+	}
+	if got := snapshot.BlobKey(blobKind, payload); got != key {
+		return nil, fmt.Errorf("service: blob %x content hashes to %x (store corrupted)", key, got)
+	}
+	return payload, nil
+}
+
+// HasBlob reports whether key is present.
+func (st *Store) HasBlob(key [16]byte) bool {
+	_, err := os.Stat(st.blobPath(key))
+	return err == nil
+}
+
+// BlobKeys lists the stored content addresses in sorted hex order.
+func (st *Store) BlobKeys() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(st.dir, "blobs"))
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			keys = append(keys, e.Name())
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// BlobCount reports the number of stored blobs.
+func (st *Store) BlobCount() (int, error) {
+	keys, err := st.BlobKeys()
+	return len(keys), err
+}
+
+// PutManifest persists a job manifest (atomic replace of any previous
+// version).
+func (st *Store) PutManifest(m Manifest) error {
+	if m.ID == "" {
+		return errors.New("service: manifest without job ID")
+	}
+	return snapshot.WriteFileGob(filepath.Join(st.dir, "jobs", m.ID), manifestKind, m)
+}
+
+// GetManifest loads one job manifest.
+func (st *Store) GetManifest(id string) (Manifest, error) {
+	var m Manifest
+	err := snapshot.ReadFileGob(filepath.Join(st.dir, "jobs", id), manifestKind, &m)
+	return m, err
+}
+
+// Manifests loads every job manifest, sorted by job ID — the restart scan.
+func (st *Store) Manifests() ([]Manifest, error) {
+	ents, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var out []Manifest
+	for _, e := range ents { // ReadDir sorts by name
+		if e.IsDir() {
+			continue
+		}
+		m, err := st.GetManifest(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("service: manifest %s: %w", e.Name(), err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ParseKey decodes a hex blob key (the Manifest.Evidence/Model encoding).
+func ParseKey(s string) ([16]byte, error) {
+	var key [16]byte
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(key) {
+		return key, fmt.Errorf("service: bad blob key %q", s)
+	}
+	copy(key[:], b)
+	return key, nil
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"rc4break/internal/snapshot"
+)
+
+func TestStoreBlobDedupAndRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("evidence snapshot bytes")
+	k1, existed, err := st.PutBlob(payload)
+	if err != nil || existed {
+		t.Fatalf("first put: existed=%v err=%v", existed, err)
+	}
+	k2, existed, err := st.PutBlob(payload)
+	if err != nil || !existed || k2 != k1 {
+		t.Fatalf("second put: key=%x existed=%v err=%v, want key=%x existed=true", k2, existed, err, k1)
+	}
+	if n, _ := st.BlobCount(); n != 1 {
+		t.Fatalf("BlobCount after dedup = %d, want 1", n)
+	}
+	got, err := st.GetBlob(k1)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("GetBlob: %q err=%v", got, err)
+	}
+	if !st.HasBlob(k1) {
+		t.Fatal("HasBlob false for stored key")
+	}
+	k3, _, err := st.PutBlob([]byte("different payload"))
+	if err != nil || k3 == k1 {
+		t.Fatalf("distinct payload collided: %x err=%v", k3, err)
+	}
+	keys, err := st.BlobKeys()
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("BlobKeys = %v err=%v, want 2 keys", keys, err)
+	}
+	wantA, wantB := hex.EncodeToString(k1[:]), hex.EncodeToString(k3[:])
+	if wantA > wantB {
+		wantA, wantB = wantB, wantA
+	}
+	if keys[0] != wantA || keys[1] != wantB {
+		t.Fatalf("BlobKeys = %v, want sorted [%s %s]", keys, wantA, wantB)
+	}
+}
+
+// TestStoreGetBlobDetectsMismatchedContent rewrites a blob file with a valid
+// envelope holding different bytes: the envelope CRC passes but the content
+// no longer hashes to its own name, and GetBlob must refuse to serve it.
+func TestStoreGetBlobDetectsMismatchedContent(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _, err := st.PutBlob([]byte("original evidence"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.WriteFile(st.blobPath(key), blobKind, []byte("swapped evidence")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetBlob(key); err == nil {
+		t.Fatal("GetBlob served a blob whose content does not match its address")
+	}
+	// Wrong envelope kind at the right address must also fail.
+	if err := snapshot.WriteFile(st.blobPath(key), manifestKind, []byte("original evidence")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetBlob(key); err == nil {
+		t.Fatal("GetBlob served an envelope of the wrong kind")
+	}
+}
+
+func TestStoreManifests(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mans := []Manifest{
+		{ID: "j-0002", Tenant: "t2", State: StateQueued,
+			Spec: JobSpec{Attack: "tkip", Mode: "model", TrainKeys: 1 << 10}},
+		{ID: "j-0000", Tenant: "t0", State: StateDone,
+			Spec:     JobSpec{Attack: "cookie", Mode: "model", Secret: "C00kie", Seed: 7},
+			Evidence: "deadbeef", Observed: 1 << 20, Rounds: 2,
+			Result: JobResult{Success: true, Plaintext: []byte("C00kie"), Rank: 3, Checks: 11}},
+		{ID: "j-0001", Tenant: "t1", State: StateSuspended,
+			Spec: JobSpec{Attack: "cookie", Mode: "exact", Secret: "xy", Seed: 9}, Observed: 512},
+	}
+	for _, m := range mans {
+		if err := st.PutManifest(m); err != nil {
+			t.Fatalf("put %s: %v", m.ID, err)
+		}
+	}
+	for _, m := range mans {
+		got, err := st.GetManifest(m.ID)
+		if err != nil {
+			t.Fatalf("get %s: %v", m.ID, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("manifest %s round-trip:\n got %+v\nwant %+v", m.ID, got, m)
+		}
+	}
+	all, err := st.Manifests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].ID != "j-0000" || all[1].ID != "j-0001" || all[2].ID != "j-0002" {
+		t.Fatalf("Manifests order: got %d entries %v", len(all), []string{all[0].ID, all[1].ID, all[2].ID})
+	}
+	// Overwrite is an atomic replace.
+	upd := mans[0] // j-0002
+	upd.State = StateRunning
+	if err := st.PutManifest(upd); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := st.GetManifest("j-0002"); got.State != StateRunning {
+		t.Fatalf("updated manifest state = %q, want running", got.State)
+	}
+	if err := st.PutManifest(Manifest{}); err == nil {
+		t.Fatal("PutManifest accepted an empty job ID")
+	}
+}

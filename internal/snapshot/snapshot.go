@@ -249,6 +249,41 @@ func Sniff(r io.Reader) (replay io.Reader, isEnvelope bool, err error) {
 	return io.MultiReader(bytes.NewReader(peek), r), string(peek) == Magic, nil
 }
 
+// BlobKey is the content address of an envelope in a content-addressed
+// store: a 16-byte digest over the kind and the payload bytes, so two
+// envelopes carry the same key iff they carry the same kind and bitwise
+// payload. The digest is the same two-pass FNV-1a construction as
+// Fingerprint (forward and reversed streams), with the kind folded in
+// length-prefixed so ("ab", "c") and ("a", "bc") cannot collide. Like
+// Fingerprint this is an accident detector, not an authenticator — the
+// store re-derives keys on read, so a corrupted blob fails lookup rather
+// than serving wrong bytes.
+func BlobKey(kind string, payload []byte) [16]byte {
+	var out [16]byte
+	prefix := make([]byte, 0, 4+len(kind))
+	prefix = binary.BigEndian.AppendUint32(prefix, uint32(len(kind)))
+	prefix = append(prefix, kind...)
+
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h1 := uint64(offset64)
+	for _, c := range prefix {
+		h1 = (h1 ^ uint64(c)) * prime64
+	}
+	for _, c := range payload {
+		h1 = (h1 ^ uint64(c)) * prime64
+	}
+	h2 := uint64(offset64)
+	for i := len(payload) - 1; i >= 0; i-- {
+		h2 = (h2 ^ uint64(payload[i])) * prime64
+	}
+	for i := len(prefix) - 1; i >= 0; i-- {
+		h2 = (h2 ^ uint64(prefix[i])) * prime64
+	}
+	binary.BigEndian.PutUint64(out[:8], h1)
+	binary.BigEndian.PutUint64(out[8:], h2)
+	return out
+}
+
 // StreamInfo identifies the capture stream a snapshot's evidence came from:
 // the collection mode and the seed its source streams derive from. Resuming
 // an exact-mode capture only makes sense against the same stream (the

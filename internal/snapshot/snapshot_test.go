@@ -207,3 +207,28 @@ func TestFingerprintStableAndDiscriminating(t *testing.T) {
 		t.Fatal("fingerprint does not discriminate configs")
 	}
 }
+
+func TestBlobKeyContentAddressing(t *testing.T) {
+	payload := []byte("shared model payload")
+	k1 := BlobKey("model.v1", payload)
+	k2 := BlobKey("model.v1", append([]byte(nil), payload...))
+	if k1 != k2 {
+		t.Fatal("identical (kind, payload) must map to one key")
+	}
+	if BlobKey("model.v2", payload) == k1 {
+		t.Fatal("kind must be part of the address")
+	}
+	mutated := append([]byte(nil), payload...)
+	mutated[3] ^= 1
+	if BlobKey("model.v1", mutated) == k1 {
+		t.Fatal("payload bit flip must change the key")
+	}
+	// The kind is folded in length-prefixed, so shifting bytes between kind
+	// and payload must not alias.
+	if BlobKey("ab", []byte("c")) == BlobKey("a", []byte("bc")) {
+		t.Fatal("kind/payload boundary must be unambiguous")
+	}
+	if BlobKey("k", nil) == BlobKey("k", []byte{0}) {
+		t.Fatal("empty payload must not alias a zero byte")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"rc4break/internal/obs"
 	"rc4break/internal/service"
 )
 
@@ -52,6 +53,9 @@ func main() {
 		Capacity:        *capacity,
 		TenantMaxActive: *tenantMax,
 		MaxActive:       *maxActive,
+		// Job lifecycle spans, served live at /debug/trace{,/chrome}. The
+		// journal is a fixed ring, so an always-on tracer is bounded.
+		Tracer: obs.NewJournal("attackd", obs.DefaultCapacity),
 		Logf: func(format string, args ...interface{}) {
 			fmt.Printf("[attackd] "+format+"\n", args...)
 		},

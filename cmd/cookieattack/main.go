@@ -66,6 +66,7 @@ import (
 	"rc4break/internal/fleet"
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/netsim"
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 	"rc4break/internal/snapshot"
 	"rc4break/internal/tlsrec"
@@ -328,12 +329,20 @@ func emitJSON(enabled bool, r cliutil.RunResult) {
 // files. Every lane is a pure function of the job, so re-captures after a
 // lease expiry are byte-identical.
 func runFleetWorker(addr, id string, fp [16]byte, cfg cookieattack.Config, req httpmodel.Request, secret string, workers int, pcapPaths []string) {
+	proc := id
+	if proc == "" {
+		proc = "cookieattack-worker"
+	}
 	w := &fleet.Worker{
 		Addr:        addr,
 		ID:          id,
 		Attack:      "cookie",
 		Fingerprint: fp,
 		Logf:        cliutil.IndentLogf,
+		// Per-lane collect spans ride each evidence upload; a traced
+		// coordinator folds them under its own trace, an untraced one
+		// ignores them.
+		Tracer: obs.NewJournal(proc, 1024),
 		Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
 			a, err := collectCookieLane(cfg, req, secret, job, lease, workers, pcapPaths)
 			if err != nil {

@@ -40,6 +40,7 @@ import (
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/metrics"
 	"rc4break/internal/netsim"
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 	"rc4break/internal/tkip"
 )
@@ -64,7 +65,17 @@ func main() {
 	trainKeys := flag.Uint64("trainkeys", 1<<12, "tkip attack: training keys per TSC class when the model must be trained")
 	linger := flag.Duration("linger", 2*time.Second, "how long to keep answering workers with stop after the run finishes")
 	jsonOut := flag.Bool("json", false, "append one machine-readable JSON result line to stdout")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (coordinator plus worker spans) to this file")
 	flag.Parse()
+
+	// One journal serves both sinks: the -trace-out file written at exit and
+	// the live /debug/trace endpoints when -http is set. Workers' journals
+	// fold into it via evidence uploads, so either sink shows the whole
+	// fleet under one trace ID.
+	var journal *obs.Journal
+	if *traceOut != "" || *httpAddr != "" {
+		journal = obs.NewJournal("fleetd", obs.DefaultCapacity)
+	}
 
 	var (
 		pool   fleet.Pool
@@ -117,7 +128,25 @@ func main() {
 		LaneRecords: *laneRecords,
 		Fingerprint: fp,
 	}
-	coord, err := fleet.NewCoordinator(fleet.Config{
+	// Latency histograms behind -http: lease-grant-to-upload round trips,
+	// evidence ingest (validate+stage+merge), and closed-loop decode rounds.
+	// The coordinator feeds them through duration hooks on its injected
+	// clock, so they cost nothing when unset.
+	var (
+		reg           *metrics.Registry
+		histRoundtrip *metrics.Histogram
+		histIngest    *metrics.Histogram
+		histDecode    *metrics.Histogram
+	)
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		laneBuckets := metrics.ExponentialBuckets(0.25, 2, 14)   // 250ms .. ~34min lanes
+		fastBuckets := metrics.ExponentialBuckets(0.0005, 2, 16) // 500µs .. ~16s
+		histRoundtrip = reg.Histogram("fleetd_lane_roundtrip_seconds", "lease grant to accepted evidence upload, per lane", laneBuckets)
+		histIngest = reg.Histogram("fleetd_ingest_seconds", "evidence upload validation and staging time", fastBuckets)
+		histDecode = reg.Histogram("fleetd_decode_round_seconds", "closed-loop decode round time over the merged pool", fastBuckets)
+	}
+	cfg := fleet.Config{
 		Job:           job,
 		Pool:          pool,
 		Oracle:        oracle,
@@ -125,8 +154,15 @@ func main() {
 		MaxCandidates: *depth,
 		LeaseTTL:      *leaseTTL,
 		Checkpoint:    *checkpoint,
+		Tracer:        journal,
 		Logf:          func(format string, args ...interface{}) { fmt.Printf("[fleet] "+format+"\n", args...) },
-	})
+	}
+	if reg != nil {
+		cfg.ObserveLaneRoundtrip = histRoundtrip.ObserveDuration
+		cfg.ObserveIngest = histIngest.ObserveDuration
+		cfg.ObserveDecode = histDecode.ObserveDuration
+	}
+	coord, err := fleet.NewCoordinator(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,26 +176,28 @@ func main() {
 		*attack, *mode, l.Addr(), job.Budget, job.Lanes(), job.LaneRecords, *leaseTTL)
 
 	// Optional observability endpoints, the same reusable handlers attackd
-	// mounts: Prometheus text metrics over the coordinator's lane counters
-	// plus a liveness probe.
+	// mounts: Prometheus text metrics (lane counters, latency histograms,
+	// runtime gauges), a liveness probe, the live span journal as NDJSON and
+	// Chrome trace-event JSON, and net/http/pprof.
 	if *httpAddr != "" {
-		reg := metrics.NewRegistry()
 		reg.GaugeFunc("fleetd_lane_uploads_accepted", "lane snapshot uploads merged into the pool",
 			func() float64 { uploads, _, _ := coord.Stats(); return float64(uploads) })
 		reg.GaugeFunc("fleetd_lane_uploads_rejected", "lane snapshot uploads rejected",
 			func() float64 { _, rejected, _ := coord.Stats(); return float64(rejected) })
 		reg.GaugeFunc("fleetd_lanes_done", "capture lanes fully merged",
 			func() float64 { _, _, lanesDone := coord.Stats(); return float64(lanesDone) })
+		metrics.RuntimeGauges(reg)
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.Handler())
 		mux.Handle("GET /healthz", metrics.Healthz(func() error { return nil }))
+		obs.MountDebug(mux, journal)
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal(err)
 		}
 		httpErr := make(chan error, 1)
 		go func() { httpErr <- http.Serve(hl, mux) }()
-		fmt.Printf("[fleet] metrics on http://%s/metrics\n", hl.Addr())
+		fmt.Printf("[fleet] metrics on http://%s/metrics, spans on /debug/trace\n", hl.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -185,12 +223,34 @@ func main() {
 	report(res, runErr)
 
 	// Keep answering straggler workers with stop before closing, so they
-	// exit cleanly instead of on a connection error.
+	// exit cleanly instead of on a connection error. Close also ends the
+	// run-level span, so the trace file is written after it.
 	time.Sleep(*linger)
 	coord.Close()
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, journal); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[fleet] chrome trace -> %s\n", *traceOut)
+	}
 	if runErr != nil {
 		os.Exit(1)
 	}
+}
+
+// writeChromeTrace dumps the journal as a Perfetto-loadable Chrome
+// trace-event file: the coordinator's spans plus every folded worker span,
+// one process group per proc label.
+func writeChromeTrace(path string, j *obs.Journal) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChrome(f, j.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // cookieSetup builds the §6 evidence pool and oracle exactly as

@@ -23,6 +23,7 @@ import (
 
 	"rc4break/internal/dataset"
 	"rc4break/internal/experiments"
+	"rc4break/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	progress := flag.Bool("progress", false, "report keystream-generation progress on stderr")
 	only := flag.String("only", "", "comma-separated subset: table1,table2,eq2,eq35,fig4,fig5,fig6,eq8,broadcast,absab,eq9,fig7,fig89,fig10,online,fleet,service,trace,placement,charset")
 	jsonOut := flag.Bool("json", false, "append machine-readable JSON result lines for experiments that produce them (trace)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run (one span per experiment, engine shard spans nested) to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -72,11 +74,58 @@ func main() {
 			want[strings.TrimSpace(k)] = true
 		}
 	}
-	run := func(key string) bool { return len(want) == 0 || want[key] }
+
+	// With -trace-out, each selected experiment gets one span under a shared
+	// run span, and the engine's run/shard spans nest beneath via the
+	// context; the journal is dumped as a Chrome trace-event file at exit.
+	var (
+		journal  *obs.Journal
+		runSpan  *obs.Span
+		expSpan  *obs.Span
+		traceCtx context.Context // journal-bearing base the per-experiment contexts derive from
+	)
+	if *traceOut != "" {
+		journal = obs.NewJournal("repro", obs.DefaultCapacity)
+		runSpan = journal.Start(obs.SpanContext{}, "repro.run",
+			obs.U64("keys", *keys), obs.Int("trials", int64(*trials)))
+		traceCtx = obs.NewContext(ctx, journal)
+	}
+	run := func(key string) bool {
+		ok := len(want) == 0 || want[key]
+		if ok && journal != nil {
+			expSpan.End() // close the previous experiment's span (nil-safe)
+			expSpan = journal.Start(runSpan.Context(), "repro."+key)
+			ctx = obs.WithParent(traceCtx, expSpan.Context())
+		}
+		return ok
+	}
+	flushTrace := func() {
+		if journal == nil {
+			return
+		}
+		expSpan.End()
+		expSpan = nil
+		runSpan.End()
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			if werr := obs.WriteChrome(f, journal.Snapshot()); werr == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+				err = werr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "repro: chrome trace -> %s\n", *traceOut)
+	}
 	fail := func(err error) {
 		if progressLineOpen.Load() {
 			fmt.Fprintln(os.Stderr) // close the partial \r-progress line
 		}
+		flushTrace()
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
@@ -242,4 +291,5 @@ func main() {
 		}
 		res.Render(os.Stdout)
 	}
+	flushTrace()
 }

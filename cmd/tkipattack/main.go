@@ -58,6 +58,7 @@ import (
 	"rc4break/internal/cliutil"
 	"rc4break/internal/fleet"
 	"rc4break/internal/netsim"
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 	"rc4break/internal/packet"
 	"rc4break/internal/rc4"
@@ -518,12 +519,20 @@ func runFleetWorker(addr, id string, model *tkip.PerTSCModel, positions []int, s
 		fatal(err)
 	}
 	trailer := trueTrailer(session, victim.MSDU)
+	proc := id
+	if proc == "" {
+		proc = "tkipattack-worker"
+	}
 	w := &fleet.Worker{
 		Addr:        addr,
 		ID:          id,
 		Attack:      "tkip",
 		Fingerprint: fp,
 		Logf:        cliutil.IndentLogf,
+		// Per-lane collect spans ride each evidence upload; a traced
+		// coordinator folds them under its own trace, an untraced one
+		// ignores them.
+		Tracer: obs.NewJournal(proc, 1024),
 		Collect: func(job fleet.JobSpec, lease fleet.Lease) ([]byte, error) {
 			a, err := collectTKIPLane(model, positions, session, trailer, job, lease, workers, pcapPaths)
 			if err != nil {

@@ -24,16 +24,22 @@ var GobManifest = map[string]string{
 	"rc4break/internal/tkip.attackState":         "struct{Counts []uint64; Frames uint64; ModelFingerprint [16]byte; Positions []int; Stream struct{Lane uint64; Mode string; Seed int64}}",
 
 	// Attack-service job manifests (the attackd store's jobs/<id> records).
-	"rc4break/internal/service.Manifest": "struct{Evidence string; ID string; Model string; Observed uint64; Result struct{Checks uint64; Error string; Plaintext []byte; Rank int; Skipped uint64; Success bool}; Rounds int; Spec struct{Attack string; Budget uint64; CaptureChunk uint64; CheckpointRounds int; DecodeEvery uint64; FirstDecode uint64; MaxCandidates int; Mode string; Secret string; Seed int64; TrainKeys uint64; Workers int}; State string; Tenant string}",
+	// Spec gained TraceID (span-context propagation from the submitter) —
+	// gob-compatible: old manifests decode with an empty TraceID.
+	"rc4break/internal/service.Manifest": "struct{Evidence string; ID string; Model string; Observed uint64; Result struct{Checks uint64; Error string; Plaintext []byte; Rank int; Skipped uint64; Success bool}; Rounds int; Spec struct{Attack string; Budget uint64; CaptureChunk uint64; CheckpointRounds int; DecodeEvery uint64; FirstDecode uint64; MaxCandidates int; Mode string; Secret string; Seed int64; TraceID string; TrainKeys uint64; Workers int}; State string; Tenant string}",
 
 	// Fleet RPC messages (coordinator/worker wire protocol).
 	"rc4break/internal/fleet.Hello":        "struct{Fingerprint [16]byte; Worker string}",
 	"rc4break/internal/fleet.Welcome":      "struct{Job struct{Attack string; Budget uint64; Fingerprint [16]byte; LaneRecords uint64; Mode string; Seed int64}}",
 	"rc4break/internal/fleet.LeaseRequest": "struct{Worker string}",
-	"rc4break/internal/fleet.Lease":        "struct{Lane uint64; Records uint64; Start uint64; Stream struct{Lane uint64; Mode string; Seed int64}; TTL int64}",
-	"rc4break/internal/fleet.Wait":         "struct{After int64}",
-	"rc4break/internal/fleet.Stop":         "struct{Reason string}",
-	"rc4break/internal/fleet.Release":      "struct{Lane uint64; Worker string}",
-	"rc4break/internal/fleet.Evidence":     "struct{Lane uint64; Records uint64; Snapshot []byte; Stream struct{Lane uint64; Mode string; Seed int64}; Worker string}",
-	"rc4break/internal/fleet.Ack":          "struct{Err string; Lane uint64; Merged uint64; OK bool; Stop bool}",
+	// Lease gained Trace/Span (span-context propagation) and Evidence gained
+	// Spans (worker journal piggyback) — both gob-compatible additions: old
+	// peers decode new messages by skipping unknown fields, new peers see
+	// zero values (tracing off) from old peers.
+	"rc4break/internal/fleet.Lease":    "struct{Lane uint64; Records uint64; Span uint64; Start uint64; Stream struct{Lane uint64; Mode string; Seed int64}; TTL int64; Trace uint64}",
+	"rc4break/internal/fleet.Wait":     "struct{After int64}",
+	"rc4break/internal/fleet.Stop":     "struct{Reason string}",
+	"rc4break/internal/fleet.Release":  "struct{Lane uint64; Worker string}",
+	"rc4break/internal/fleet.Evidence": "struct{Lane uint64; Records uint64; Snapshot []byte; Spans []struct{Attrs []struct{Key string; Kind uint8; Num uint64; Str string}; Dur int64; Name string; Parent uint64; Proc string; Span uint64; Start int64; Trace uint64; Track int64}; Stream struct{Lane uint64; Mode string; Seed int64}; Worker string}",
+	"rc4break/internal/fleet.Ack":      "struct{Err string; Lane uint64; Merged uint64; OK bool; Stop bool}",
 }

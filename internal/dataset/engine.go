@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rc4break/internal/obs"
 	"rc4break/internal/rc4"
 )
 
@@ -174,6 +175,19 @@ func (e Engine) Run(ctx context.Context, st Stream, shards []Shard, newSink func
 	}
 	prog := newProgressMeter(ctx, total)
 
+	// Tracing rides the context: with no journal attached, every StartSpan
+	// below is one nil check. Spans are per-run and per-shard — never
+	// per-window or per-key, which would sit inside the keystream hot loop.
+	// bytesPerKey is the delivered window volume (overlap prefix + all
+	// fresh block bytes), the attr throughput investigations divide by.
+	bytesPerKey := uint64(st.Overlap) + uint64(st.Blocks)*uint64(st.BlockLen)
+	ctx, runSpan := obs.StartSpan(ctx, "engine.run",
+		obs.Int("shards", int64(len(shards))),
+		obs.U64("keys", total),
+		obs.U64("bytes", total*bytesPerKey),
+		obs.Str("backend", backend.String()))
+	defer runSpan.End()
+
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -193,7 +207,13 @@ func (e Engine) Run(ctx context.Context, st Stream, shards []Shard, newSink func
 				if errs[w] != nil {
 					continue // drain the queue after a failure
 				}
+				_, ss := obs.StartSpan(ctx, "engine.shard",
+					obs.U64("lane", shards[i].Lane),
+					obs.U64("keys", shards[i].Keys),
+					obs.U64("bytes", shards[i].Keys*bytesPerKey))
+				ss.SetTrack(int64(i))
 				errs[w] = runShard(ctx, st, shards[i], sinks[i], prog, backend)
+				ss.End()
 			}
 		}(w)
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"rc4break/internal/dataset"
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 	"rc4break/internal/recovery"
 	"rc4break/internal/snapshot"
@@ -64,6 +65,22 @@ type Config struct {
 	// Now is the clock used for lease bookkeeping (a test hook); nil means
 	// time.Now.
 	Now func() time.Time
+	// Tracer, when non-nil, records the fleet span tree (fleet.run, per-lane
+	// lease→upload spans, ingest and merge spans, plus the online runtime's
+	// per-round spans) and folds in the span records workers piggyback on
+	// their uploads. A nil Tracer costs one nil check per site; outputs are
+	// bitwise identical either way.
+	Tracer *obs.Journal
+	// TraceParent parents the fleet.run span (e.g. a service job's span).
+	TraceParent obs.SpanContext
+	// ObserveLaneRoundtrip, ObserveIngest and ObserveDecode, when non-nil,
+	// receive wall-clock durations for the daemon's latency histograms:
+	// lease grant to accepted upload per lane, evidence validate+stage per
+	// upload, and each decode round. Durations come from the injected Now
+	// clock, so the hooks work with or without a Tracer.
+	ObserveLaneRoundtrip func(d time.Duration)
+	ObserveIngest        func(d time.Duration)
+	ObserveDecode        func(d time.Duration)
 }
 
 // DefaultLeaseTTL is the lane lease lifetime when Config.LeaseTTL is zero.
@@ -90,6 +107,12 @@ type Coordinator struct {
 	stopReason string
 	failure    error
 
+	// runSpan is the root of the coordinator's trace tree (nil untraced);
+	// laneSpans tracks each outstanding lease's span and grant time from
+	// grant to accepted upload or expiry, keyed by lane.
+	runSpan   *obs.Span
+	laneSpans map[uint64]laneGrant
+
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -102,6 +125,13 @@ type Coordinator struct {
 type stagedLane struct {
 	shard   Shard
 	records uint64
+}
+
+// laneGrant is the per-lease trace state: the span opened at grant and the
+// grant instant (from the injected clock) for the roundtrip histogram.
+type laneGrant struct {
+	span    *obs.Span
+	granted time.Time
 }
 
 // NewCoordinator validates the configuration and prepares the lane ledger.
@@ -128,13 +158,19 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		cfg.Now = time.Now //rc4lint:allow timing injected-clock default; lease TTL bookkeeping only, never evidence
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		job:    cfg.Job,
-		ledger: dataset.NewLaneLedger(cfg.Job.Lanes()),
-		staged: make(map[uint64]stagedLane),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:       cfg,
+		job:       cfg.Job,
+		ledger:    dataset.NewLaneLedger(cfg.Job.Lanes()),
+		staged:    make(map[uint64]stagedLane),
+		conns:     make(map[net.Conn]struct{}),
+		laneSpans: make(map[uint64]laneGrant),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	// The root span opens here, not in Run: Serve starts answering workers
+	// before Run is called, and their lane spans must parent under it.
+	c.runSpan = cfg.Tracer.Start(cfg.TraceParent, "fleet.run",
+		obs.Str("attack", cfg.Job.Attack), obs.Str("mode", cfg.Job.Mode),
+		obs.U64("budget", cfg.Job.Budget), obs.U64("lanes", cfg.Job.Lanes()))
 	if obs := cfg.Pool.Observed(); obs > 0 {
 		if obs > cfg.Job.Budget {
 			return nil, fmt.Errorf("fleet: resumed pool holds %d observations, beyond the %d budget", obs, cfg.Job.Budget)
@@ -213,6 +249,8 @@ func (c *Coordinator) Run(ctx context.Context) (online.Result, error) {
 		Feed:          coordinatorPool{c},
 		Checkpoint:    c.checkpoint,
 		Logf:          c.cfg.Logf,
+		Tracer:        c.cfg.Tracer,
+		TraceParent:   c.runSpan.Context(),
 	})
 	switch {
 	case err == nil:
@@ -243,6 +281,13 @@ func (c *Coordinator) Shutdown(reason string) {
 func (c *Coordinator) Close() {
 	c.Shutdown("coordinator closed")
 	c.mu.Lock()
+	for lane, g := range c.laneSpans {
+		//rc4lint:allow maporder shutdown span flush; End order does not affect the journal's export sort
+		g.span.SetAttrs(obs.Str("outcome", "unresolved-at-close"))
+		g.span.End()
+		delete(c.laneSpans, lane)
+	}
+	c.runSpan.End()
 	l := c.listener
 	conns := make([]net.Conn, 0, len(c.conns))
 	for conn := range c.conns {
@@ -281,7 +326,12 @@ func (p coordinatorPool) Observed() uint64 {
 func (p coordinatorPool) Decode(max int) (recovery.CandidateSource, error) {
 	p.c.mu.Lock()
 	defer p.c.mu.Unlock()
-	return p.c.cfg.Pool.Decode(max)
+	t0 := p.c.cfg.Now()
+	src, err := p.c.cfg.Pool.Decode(max)
+	if p.c.cfg.ObserveDecode != nil {
+		p.c.cfg.ObserveDecode(p.c.cfg.Now().Sub(t0))
+	}
+	return src, err
 }
 
 // AdvanceTo raises the merge limit to target, folds in any staged lanes it
@@ -318,7 +368,11 @@ func (c *Coordinator) mergeStagedLocked() {
 		if !ok {
 			return
 		}
-		if err := c.cfg.Pool.Merge(st.shard); err != nil {
+		ms := c.cfg.Tracer.Start(c.runSpan.Context(), "fleet.merge",
+			obs.U64("lane", c.nextMerge), obs.U64("records", st.records))
+		err := c.cfg.Pool.Merge(st.shard)
+		ms.End()
+		if err != nil {
 			c.failure = fmt.Errorf("fleet: merging lane %d: %w", c.nextMerge, err)
 			c.cond.Broadcast()
 			return
@@ -398,6 +452,9 @@ func (c *Coordinator) handleHello(h Hello) wireReply {
 		return reply(kindStop, Stop{Reason: "attack configuration fingerprint does not match the job (check the worker's flags)"})
 	}
 	c.logf("worker %s joined", h.Worker)
+	// Instantaneous marker span: worker joins (and rejoins after a
+	// disconnect) show up on the coordinator timeline.
+	c.cfg.Tracer.Start(c.runSpan.Context(), "fleet.join", obs.Str("worker", h.Worker)).End()
 	return reply(kindWelcome, Welcome{Job: c.job})
 }
 
@@ -410,6 +467,11 @@ func (c *Coordinator) handleLease(lr LeaseRequest) wireReply {
 	now := c.cfg.Now()
 	for _, lane := range c.ledger.Reclaim(now) {
 		c.logf("lease on lane %d expired; re-leasing", lane)
+		if g, ok := c.laneSpans[lane]; ok {
+			g.span.SetAttrs(obs.Str("outcome", "expired"))
+			g.span.End()
+			delete(c.laneSpans, lane)
+		}
 	}
 	lane, ok := c.ledger.Lease(lr.Worker, now, c.cfg.LeaseTTL)
 	if !ok {
@@ -425,12 +487,24 @@ func (c *Coordinator) handleLease(lr LeaseRequest) wireReply {
 	}
 	start, records := c.job.LaneExtent(lane)
 	c.logf("leased lane %d (observations %d..%d) to %s", lane, start, start+records, lr.Worker)
+	// The lane span covers lease grant through accepted upload (or expiry);
+	// its context rides in the lease so the worker's collect span nests
+	// under it across the process boundary.
+	span := c.cfg.Tracer.Start(c.runSpan.Context(), "fleet.lane",
+		obs.U64("lane", lane), obs.Str("worker", lr.Worker), obs.U64("records", records))
+	span.SetTrack(int64(lane))
+	sc := span.Context()
+	// Stored even when untraced (span nil): the grant time still feeds the
+	// roundtrip histogram hook.
+	c.laneSpans[lane] = laneGrant{span: span, granted: now}
 	return reply(kindLease, Lease{
 		Lane:    lane,
 		Start:   start,
 		Records: records,
 		Stream:  c.job.LaneStream(lane),
 		TTL:     c.cfg.LeaseTTL,
+		Trace:   uint64(sc.Trace),
+		Span:    uint64(sc.Span),
 	})
 }
 
@@ -454,9 +528,15 @@ func (c *Coordinator) handleRelease(rl Release) Ack {
 // runs between two short locked sections so concurrent RPCs (and the
 // decode loop) are never stalled behind a gob decode.
 func (c *Coordinator) handleEvidence(ev Evidence) Ack {
+	// Fold the worker's piggybacked spans first, acceptance aside: even a
+	// rejected duplicate represents real capture work worth rendering.
+	c.cfg.Tracer.Fold(ev.Spans)
 	if ack, proceed := c.precheckEvidence(ev); !proceed {
 		return ack
 	}
+	ingest := c.cfg.Tracer.Start(c.laneSpanContext(ev.Lane), "fleet.ingest",
+		obs.U64("lane", ev.Lane), obs.Str("worker", ev.Worker), obs.Int("bytes", int64(len(ev.Snapshot))))
+	t0 := c.cfg.Now()
 	// Unlocked: Validate only reads immutable pool configuration (see the
 	// Pool contract), so it can overlap other uploads, leases, and decode.
 	want := c.job.LaneStream(ev.Lane)
@@ -464,6 +544,10 @@ func (c *Coordinator) handleEvidence(ev Evidence) Ack {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	ingest.End()
+	if c.cfg.ObserveIngest != nil {
+		c.cfg.ObserveIngest(c.cfg.Now().Sub(t0))
+	}
 	if err != nil {
 		return c.rejectLocked(ev, "lane snapshot invalid: %v", err)
 	}
@@ -479,9 +563,28 @@ func (c *Coordinator) handleEvidence(ev Evidence) Ack {
 		c.logf("ledger complete lane %d: %v", ev.Lane, err)
 	}
 	c.uploads++
+	if g, ok := c.laneSpans[ev.Lane]; ok {
+		g.span.SetAttrs(obs.Str("outcome", "uploaded"), obs.Str("uploader", ev.Worker))
+		g.span.End()
+		delete(c.laneSpans, ev.Lane)
+		if c.cfg.ObserveLaneRoundtrip != nil {
+			c.cfg.ObserveLaneRoundtrip(c.cfg.Now().Sub(g.granted))
+		}
+	}
 	c.mergeStagedLocked()
 	c.cond.Broadcast()
 	return Ack{Lane: ev.Lane, OK: true, Merged: c.cfg.Pool.Observed(), Stop: c.stopped}
+}
+
+// laneSpanContext returns the outstanding lane span's context (zero when
+// untraced or the lease already resolved) for parenting ingest spans.
+func (c *Coordinator) laneSpanContext(lane uint64) obs.SpanContext {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.laneSpans[lane]; ok {
+		return g.span.Context()
+	}
+	return c.runSpan.Context()
 }
 
 // precheckEvidence runs the cheap upload checks under the lock; proceed is

@@ -49,6 +49,7 @@ import (
 	"io"
 	"time"
 
+	"rc4break/internal/obs"
 	"rc4break/internal/snapshot"
 )
 
@@ -139,6 +140,12 @@ type Lease struct {
 	Records uint64
 	Stream  snapshot.StreamInfo
 	TTL     time.Duration
+	// Trace/Span carry the coordinator's lane-span context so the worker's
+	// collect spans parent under it and the whole fleet renders as one
+	// flame graph. Zero when the coordinator runs untraced; tracing fields
+	// never influence capture or evidence.
+	Trace uint64
+	Span  uint64
 }
 
 // Wait tells a worker no lane is currently available (all leased or done,
@@ -164,13 +171,18 @@ type Release struct {
 
 // Evidence uploads one captured lane: the attack's own snapshot envelope
 // bytes, exactly as WriteSnapshot produces them, plus the lane identity the
-// coordinator validates against the lease it issued.
+// coordinator validates against the lease it issued. Spans piggybacks the
+// worker's drained trace journal on the upload it already makes — the
+// coordinator folds them into its own journal, so one /debug/trace scrape
+// on the coordinator shows the whole fleet. Spans never feed validation or
+// the evidence pool.
 type Evidence struct {
 	Worker   string
 	Lane     uint64
 	Stream   snapshot.StreamInfo
 	Records  uint64
 	Snapshot []byte
+	Spans    []obs.Record
 }
 
 // Ack is the coordinator's receipt for an Evidence upload — the worker's

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"rc4break/internal/obs"
 	"rc4break/internal/snapshot"
 )
 
@@ -41,6 +42,11 @@ type Worker struct {
 	// MaxWait caps how long the worker sleeps on a Wait reply; 0 means the
 	// coordinator's suggestion is honored as-is.
 	MaxWait time.Duration
+	// Tracer, when non-nil, records one fleet.collect span per leased lane,
+	// parented under the coordinator's lane span via the lease's trace
+	// fields, and piggybacks the drained journal on each evidence upload —
+	// so the coordinator's journal renders the whole fleet as one trace.
+	Tracer *obs.Journal
 }
 
 // WorkerStats summarizes one worker session.
@@ -140,7 +146,12 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 				return stats, err
 			}
 			w.logf("leased lane %d (%d observations at offset %d)", lease.Lane, lease.Records, lease.Start)
+			collect := w.Tracer.Start(
+				obs.SpanContext{Trace: obs.TraceID(lease.Trace), Span: obs.SpanID(lease.Span)},
+				"fleet.collect", obs.U64("lane", lease.Lane), obs.U64("records", lease.Records))
+			collect.SetTrack(int64(lease.Lane))
 			snap, err := w.Collect(job, lease)
+			collect.End()
 			if err != nil {
 				// Give the lane back immediately instead of holding it until
 				// the TTL expires. Best-effort: a worker that dies outright
@@ -156,6 +167,10 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 				Stream:   lease.Stream,
 				Records:  lease.Records,
 				Snapshot: snap,
+				// Drain piggybacks every finished span (this lane's collect,
+				// plus anything the attack layers recorded) on the upload the
+				// worker already makes — no extra RPC.
+				Spans: w.Tracer.Drain(),
 			}); err != nil {
 				return stats, err
 			}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency/size distribution rendered in the
+// Prometheus histogram exposition shape: cumulative `name_bucket{le="..."}`
+// series, `name_sum`, and `name_count`. Buckets are fixed at registration —
+// observation is a binary search plus one addition under the registry lock,
+// and the render order is deterministic like every other family.
+type Histogram struct {
+	reg *Registry
+	s   *series
+}
+
+// histData is the histogram payload hung off a series. counts[i] is the
+// number of observations <= bounds[i]; countInf catches the rest.
+type histData struct {
+	bounds   []float64
+	counts   []uint64
+	countInf uint64
+	sum      float64
+}
+
+// ExponentialBuckets returns n upper bounds starting at start and growing by
+// factor — the standard latency-histogram shape. Panics on a non-positive
+// start, a factor <= 1, or n < 1.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: ExponentialBuckets(%v, %v, %d): need start > 0, factor > 1, n >= 1", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Histogram registers (or finds) the histogram series for name, buckets
+// (strictly increasing upper bounds; the +Inf bucket is implicit), and label
+// pairs. Re-registering an existing series returns it unchanged; the buckets
+// argument must match the first registration's shape or the render would be
+// incoherent, so a mismatch panics.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelPairs ...string) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: histogram %s bucket %v: bounds must be finite (the +Inf bucket is implicit)", name, b))
+		}
+		if i > 0 && b <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %s buckets not strictly increasing at %v", name, b))
+		}
+	}
+	s := r.register(name, help, "histogram", nil, labelPairs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		s.hist = &histData{
+			bounds: append([]float64(nil), buckets...),
+			counts: make([]uint64, len(buckets)),
+		}
+	} else if len(s.hist.bounds) != len(buckets) {
+		panic(fmt.Sprintf("metrics: histogram %s re-registered with different bucket count", name))
+	}
+	return &Histogram{reg: r, s: s}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		// A NaN observation would make _sum NaN forever; drop it rather
+		// than poison the series.
+		return
+	}
+	h.reg.mu.Lock()
+	d := h.s.hist
+	i := sort.SearchFloat64s(d.bounds, v)
+	if i < len(d.counts) {
+		d.counts[i]++
+	} else {
+		d.countInf++
+	}
+	d.sum += v
+	h.reg.mu.Unlock()
+}
+
+// ObserveDuration records d in seconds — the unit every `_seconds` family
+// in the repo uses.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// renderHistogram writes one histogram series: cumulative buckets with the
+// `le` label appended after the series' own (sorted) labels, then the
+// implicit +Inf bucket, then _sum and _count.
+func renderHistogram(b *strings.Builder, name string, s *series) {
+	d := s.hist
+	var cum uint64
+	for i, bound := range d.bounds {
+		cum += d.counts[i]
+		writeBucket(b, name, s.labels, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+	}
+	cum += d.countInf
+	writeBucket(b, name, s.labels, "+Inf", cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, strconv.FormatFloat(d.sum, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, cum)
+}
+
+func writeBucket(b *strings.Builder, name, labels, le string, cum uint64) {
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	if labels == "" {
+		b.WriteString(`{le="`)
+	} else {
+		b.WriteString(labels[:len(labels)-1]) // reopen the rendered block
+		b.WriteString(`,le="`)
+	}
+	b.WriteString(le)
+	fmt.Fprintf(b, `"} %d`, cum)
+	b.WriteByte('\n')
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("decode_seconds", "decode-round latency",
+		[]float64{0.001, 0.01, 0.1}, "attack", "cookie")
+	h.Observe(0.0005) // bucket 0.001
+	h.Observe(0.005)  // bucket 0.01
+	h.Observe(0.05)   // bucket 0.1
+	h.Observe(5)      // +Inf only
+	h.Observe(0.01)   // boundary lands in its own le bucket (cumulative <=)
+
+	out := r.Render()
+	want := []string{
+		"# HELP decode_seconds decode-round latency",
+		"# TYPE decode_seconds histogram",
+		`decode_seconds_bucket{attack="cookie",le="0.001"} 1`,
+		`decode_seconds_bucket{attack="cookie",le="0.01"} 3`,
+		`decode_seconds_bucket{attack="cookie",le="0.1"} 4`,
+		`decode_seconds_bucket{attack="cookie",le="+Inf"} 5`,
+		`decode_seconds_sum{attack="cookie"} 5.0655`,
+		`decode_seconds_count{attack="cookie"} 5`,
+		"",
+	}
+	if got := out; got != strings.Join(want, "\n") {
+		t.Fatalf("histogram exposition mismatch:\n got: %q\nwant: %q", got, strings.Join(want, "\n"))
+	}
+}
+
+func TestHistogramNoLabelsAndDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", ExponentialBuckets(0.001, 10, 3))
+	h.ObserveDuration(5 * time.Millisecond)
+	out := r.Render()
+	for _, line := range []string{
+		`lat_bucket{le="0.001"} 0`,
+		`lat_bucket{le="0.01"} 1`,
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="+Inf"} 1`,
+		"lat_sum 0.005",
+		"lat_count 1",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramSharedSeriesAndNaNDropped(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("h", "", []float64{1})
+	b := r.Histogram("h", "", []float64{1})
+	a.Observe(0.5)
+	b.Observe(0.5)
+	a.Observe(math.NaN()) // dropped, not poisoning _sum
+	out := r.Render()
+	if !strings.Contains(out, "h_count 2\n") || !strings.Contains(out, "h_sum 1\n") {
+		t.Fatalf("shared histogram series broken:\n%s", out)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBuckets(0, 2, 3) },
+		func() { ExponentialBuckets(1, 1, 3) },
+		func() { ExponentialBuckets(1, 2, 0) },
+		func() { r := NewRegistry(); r.Histogram("x", "", nil) },
+		func() { r := NewRegistry(); r.Histogram("x", "", []float64{2, 1}) },
+		func() { r := NewRegistry(); r.Histogram("x", "", []float64{math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCounterRejectsNegativeDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "")
+	c.Add(3)
+	for _, delta := range []float64{-1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Add(%v) did not panic", delta)
+				}
+			}()
+			c.Add(delta)
+		}()
+	}
+	// The rejected deltas must not have corrupted the series.
+	if !strings.Contains(r.Render(), "mono_total 3\n") {
+		t.Fatalf("counter corrupted after rejected deltas:\n%s", r.Render())
+	}
+	c.Add(0) // zero stays legal
+}
+
+func TestExpositionEdgeCases(t *testing.T) {
+	// Empty registry renders to valid (empty) output.
+	if out := NewRegistry().Render(); out != "" {
+		t.Fatalf("empty registry rendered %q", out)
+	}
+
+	// Label values with every escape-relevant byte survive round-trip
+	// escaping in both plain series and histogram bucket lines.
+	r := NewRegistry()
+	hostile := "quote\" slash\\ newline\ntab\t"
+	r.Gauge("g", "", "k", hostile).Set(1)
+	r.Histogram("h", "", []float64{1}, "k", hostile).Observe(2)
+	out := r.Render()
+	escaped := `k="quote\" slash\\ newline\ntab	"`
+	for _, line := range []string{
+		"g{" + escaped + "} 1",
+		"h_bucket{" + escaped + `,le="1"} 0`,
+		"h_bucket{" + escaped + `,le="+Inf"} 1`,
+		"h_sum{" + escaped + "} 2",
+		"h_count{" + escaped + "} 1",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+
+	// NaN and ±Inf gauge values render in the exposition spellings the
+	// text format defines (NaN, +Inf, -Inf per strconv 'g').
+	r2 := NewRegistry()
+	r2.Gauge("nan", "").Set(math.NaN())
+	r2.Gauge("pinf", "").Set(math.Inf(1))
+	r2.Gauge("ninf", "").Set(math.Inf(-1))
+	out2 := r2.Render()
+	for _, line := range []string{"nan NaN", "pinf +Inf", "ninf -Inf"} {
+		if !strings.Contains(out2, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out2)
+		}
+	}
+}
+
+func TestRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RuntimeGauges(r)
+	out := r.Render()
+	for _, name := range []string{"go_goroutines ", "go_gomaxprocs ", "go_heap_alloc_bytes ", "go_gc_pause_seconds_total "} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing runtime gauge %q in:\n%s", name, out)
+		}
+	}
+	// Sanity: a live process has at least one goroutine and one proc.
+	if strings.Contains(out, "go_goroutines 0\n") || strings.Contains(out, "go_gomaxprocs 0\n") {
+		t.Fatalf("implausible runtime gauge values:\n%s", out)
+	}
+}

@@ -35,6 +35,7 @@ type series struct {
 	labels string // `{k="v",...}` or ""
 	val    float64
 	fn     func() float64
+	hist   *histData // non-nil only for histogram families
 }
 
 // NewRegistry returns an empty registry.
@@ -52,9 +53,15 @@ type Counter struct {
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
 
-// Add adds delta (callers keep counters monotonic; negative deltas are the
-// caller's bug and are applied as-is rather than hidden behind a panic).
+// Add adds delta. A negative delta panics: counters are monotonic by
+// contract, and a silently applied negative delta corrupts the series in a
+// way that only shows up later as an impossible rate() — failing loudly at
+// the buggy call site is strictly cheaper to debug. NaN is rejected for the
+// same reason (it would poison the series forever).
 func (c *Counter) Add(delta float64) {
+	if delta < 0 || delta != delta {
+		panic(fmt.Sprintf("metrics: counter Add(%v): negative or NaN delta on monotonic series", delta))
+	}
 	c.reg.mu.Lock()
 	c.s.val += delta
 	c.reg.mu.Unlock()
@@ -179,6 +186,10 @@ func (r *Registry) Render() string {
 		sort.Strings(keys)
 		for _, k := range keys {
 			s := f.series[k]
+			if s.hist != nil {
+				renderHistogram(&b, f.name, s)
+				continue
+			}
 			v := s.val
 			if s.fn != nil {
 				// Release the lock around the callback: GaugeFunc owners

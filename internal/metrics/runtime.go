@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// RuntimeGauges registers the Go runtime's health gauges on reg — the
+// process-level context every latency investigation starts from (is the
+// daemon GC-bound? goroutine-leaking? CPU-capped?). Values are read at
+// scrape time via GaugeFunc, so an idle registry costs nothing.
+func RuntimeGauges(reg *Registry) {
+	reg.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_gomaxprocs",
+		"Value of GOMAXPROCS: OS threads executing Go code simultaneously.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	reg.GaugeFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time in seconds.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.PauseTotalNs) / 1e9
+		})
+}
+
+// ObserveHandler wraps next so every request's wall-clock service time is
+// recorded into h. It lives here rather than in the daemons because the
+// service/fleet packages are determinism-linted (no free time.Now); the
+// metrics layer is the sanctioned home for wall-clock reads.
+func ObserveHandler(h *Histogram, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		next.ServeHTTP(w, r)
+		h.Observe(time.Since(t0).Seconds())
+	})
+}

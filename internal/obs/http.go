@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// TraceHandler serves the journal's current contents as NDJSON — the
+// GET /debug/trace surface on both daemons.
+func TraceHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = WriteNDJSON(w, j.Snapshot())
+	})
+}
+
+// ChromeHandler serves the journal as Chrome trace-event JSON — save the
+// response and load it in chrome://tracing or https://ui.perfetto.dev.
+func ChromeHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		_ = WriteChrome(w, j.Snapshot())
+	})
+}
+
+// MountDebug registers the live debug surface on mux: /debug/trace (NDJSON),
+// /debug/trace/chrome (trace-event JSON), and the net/http/pprof handlers
+// under /debug/pprof/. The pprof handlers are registered explicitly rather
+// than via the package's DefaultServeMux side effect, so daemons using their
+// own mux get them too.
+func MountDebug(mux *http.ServeMux, j *Journal) {
+	mux.Handle("GET /debug/trace", TraceHandler(j))
+	mux.Handle("GET /debug/trace/chrome", ChromeHandler(j))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -29,6 +29,7 @@ import (
 	"math"
 	"time"
 
+	"rc4break/internal/obs"
 	"rc4break/internal/recovery"
 )
 
@@ -153,6 +154,14 @@ type Config struct {
 	Checkpoint func() error
 	// Logf, when non-nil, receives one progress line per round.
 	Logf func(format string, args ...interface{})
+	// Tracer, when non-nil, records one online.run span plus per-round
+	// capture/decode/walk spans into the journal. A nil Tracer costs one
+	// nil check per span site; tracing never feeds evidence or candidate
+	// ranks, so outputs are bitwise identical either way.
+	Tracer *obs.Journal
+	// TraceParent parents the online.run span — the coordinator's or job
+	// server's span context, so a distributed run renders as one trace.
+	TraceParent obs.SpanContext
 }
 
 // Result reports the outcome of an online run. On success Plaintext is the
@@ -200,6 +209,10 @@ func Run(cfg Config) (Result, error) {
 	}
 	start := time.Now() //rc4lint:allow timing attack-cost metric (Result timing fields), never feeds evidence
 	var res Result
+	runSpan := cfg.Tracer.Start(cfg.TraceParent, "online.run",
+		obs.U64("budget", cfg.Budget), obs.Str("cadence", cfg.Cadence.String()))
+	defer runSpan.End()
+	runCtx := runSpan.Context()
 	rejected := make(map[string]struct{})
 	for {
 		target := cfg.Cadence.Next(cfg.Decoder.Observed())
@@ -207,12 +220,16 @@ func Run(cfg Config) (Result, error) {
 			target = cfg.Budget
 		}
 		if target > cfg.Decoder.Observed() {
+			capSpan := cfg.Tracer.Start(runCtx, "online.capture", obs.U64("target", target))
 			t0 := time.Now() //rc4lint:allow timing capture-time metric
 			if err := feed.AdvanceTo(target); err != nil {
+				capSpan.End()
 				res.Observed = cfg.Decoder.Observed()
 				return res, err
 			}
 			res.CaptureTime += time.Since(t0) //rc4lint:allow timing capture-time metric
+			capSpan.SetAttrs(obs.U64("observed", cfg.Decoder.Observed()))
+			capSpan.End()
 			if got := cfg.Decoder.Observed(); got < target {
 				res.Observed = got
 				return res, fmt.Errorf("online: capture stopped at %d of %d observations", got, target)
@@ -225,20 +242,28 @@ func Run(cfg Config) (Result, error) {
 		last := res.Observed >= cfg.Budget
 
 		res.Rounds++
+		decSpan := cfg.Tracer.Start(runCtx, "online.decode",
+			obs.Int("round", int64(res.Rounds)), obs.U64("observed", res.Observed))
 		t0 := time.Now() //rc4lint:allow timing decode-time metric
 		src, err := cfg.Decoder.Decode(maxC)
 		if err != nil {
+			decSpan.End()
 			return res, err
 		}
 		res.DecodeTime += time.Since(t0) //rc4lint:allow timing decode-time metric
+		decSpan.End()
 
+		walkSpan := cfg.Tracer.Start(runCtx, "online.walk", obs.Int("round", int64(res.Rounds)))
 		t0 = time.Now() //rc4lint:allow timing oracle-time metric
 		hit, rank, walked := res.walk(src, cfg.Oracle, maxC, rejected)
 		res.OracleTime += time.Since(t0) //rc4lint:allow timing oracle-time metric
+		walkSpan.SetAttrs(obs.Int("walked", int64(walked)), obs.U64("checks", res.Checks))
+		walkSpan.End()
 		if hit != nil {
 			res.Plaintext = hit
 			res.Rank = rank
 			res.Elapsed = time.Since(start) //rc4lint:allow timing total-elapsed metric
+			runSpan.SetAttrs(obs.Int("rank", int64(rank)), obs.U64("observed", res.Observed))
 			return res, nil
 		}
 		if cfg.Logf != nil {

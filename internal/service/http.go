@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"rc4break/internal/metrics"
+	"rc4break/internal/obs"
 )
 
 // SubmitRequest is the POST /api/v1/jobs body.
@@ -24,6 +25,11 @@ type SubmitRequest struct {
 //	GET  /api/v1/jobs/{id}/evidence  the evidence blob (snapshot envelope)
 //	GET  /metrics                  Prometheus text format
 //	GET  /healthz                  200 until drain begins
+//	GET  /debug/trace              span journal as NDJSON (when Config.Tracer set)
+//	GET  /debug/trace/chrome       span journal as Chrome trace-event JSON
+//	GET  /debug/pprof/...          net/http/pprof
+//
+// Every request's service time lands in attackd_http_request_seconds.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -34,7 +40,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/evidence", s.handleEvidence)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.Handle("GET /healthz", metrics.Healthz(s.Ready))
-	return mux
+	obs.MountDebug(mux, s.cfg.Tracer)
+	return metrics.ObserveHandler(s.httpSeconds, mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

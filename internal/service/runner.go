@@ -12,6 +12,7 @@ import (
 	"rc4break/internal/cookieattack"
 	"rc4break/internal/httpmodel"
 	"rc4break/internal/netsim"
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 	"rc4break/internal/rc4"
 	"rc4break/internal/recovery"
@@ -273,6 +274,10 @@ type gatedDecoder struct {
 	ungate  func()
 	rounds  int
 	onRound func(elapsed time.Duration)
+	// tracer/parent record one job.decode span per round under the job's
+	// run span; nil tracer costs one nil check.
+	tracer *obs.Journal
+	parent obs.SpanContext
 }
 
 func (d *gatedDecoder) Decode(max int) (src recovery.CandidateSource, err error) {
@@ -285,6 +290,8 @@ func (d *gatedDecoder) Decode(max int) (src recovery.CandidateSource, err error)
 		defer d.ungate()
 	}
 	d.rounds++
+	span := d.tracer.Start(d.parent, "job.decode", obs.Int("round", int64(d.rounds)), obs.Int("max", int64(max)))
+	defer span.End()
 	if d.onRound == nil {
 		return d.Decoder.Decode(max)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"rc4break/internal/cliutil"
 	"rc4break/internal/metrics"
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 	"rc4break/internal/tkip"
 )
@@ -34,6 +35,12 @@ type Config struct {
 	// finished job — the same schema the attack CLIs emit under -json,
 	// with the job/tenant fields set.
 	Results io.Writer
+	// Tracer, when non-nil, records job lifecycle spans (admit, run,
+	// granule, decode round — tenant-labelled) into the journal the daemon
+	// serves at /debug/trace. A spec's TraceID joins the submitter's trace;
+	// otherwise each job is its own trace. Nil costs one pointer check per
+	// span site.
+	Tracer *obs.Journal
 }
 
 // Job is one admitted job: its manifest (mirrored to the store) plus the
@@ -64,6 +71,10 @@ type Server struct {
 	obsTotal      *metrics.Counter
 	roundsTotal   *metrics.Counter
 	decodeSeconds *metrics.Counter
+
+	roundSeconds   *metrics.Histogram
+	granuleSeconds *metrics.Histogram
+	httpSeconds    *metrics.Histogram
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -116,6 +127,13 @@ func New(cfg Config) (*Server, error) {
 	s.roundsTotal = s.reg.Counter("attackd_decode_rounds_total", "decode rounds completed")
 	s.decodeSeconds = s.reg.Counter("attackd_decode_seconds_total",
 		"time spent in decode rounds (divide by attackd_decode_rounds_total for mean round latency)")
+	s.roundSeconds = s.reg.Histogram("attackd_decode_round_seconds",
+		"decode round latency distribution", metrics.ExponentialBuckets(0.001, 2, 16))
+	s.granuleSeconds = s.reg.Histogram("attackd_granule_seconds",
+		"capture granule service time (one scheduler slot held per observation)", metrics.ExponentialBuckets(0.001, 2, 16))
+	s.httpSeconds = s.reg.Histogram("attackd_http_request_seconds",
+		"job API request service time", metrics.ExponentialBuckets(0.0001, 4, 10))
+	metrics.RuntimeGauges(s.reg)
 	for _, st := range JobStates {
 		state := st
 		s.reg.GaugeFunc("attackd_jobs", "jobs by lifecycle state",
@@ -218,6 +236,8 @@ func (s *Server) Submit(tenant string, spec JobSpec) (JobStatus, error) {
 	s.jobs[man.ID] = j
 	s.order = append(s.order, man.ID)
 	s.eventf(j, StateQueued, 0, 0, "admitted")
+	s.cfg.Tracer.Start(traceParent(spec), "job.admit",
+		obs.Str("job", man.ID), obs.Str("tenant", tenant)).End()
 	s.logf("job %s (%s): admitted %s/%s", man.ID, tenant, spec.Attack, spec.Mode)
 	s.launch(j)
 	return statusOf(man), nil
@@ -305,12 +325,38 @@ func (s *Server) stop(cause error) {
 // terminal or suspended). Tests use it; the daemon uses Drain.
 func (s *Server) Wait() { s.wg.Wait() }
 
+// traceParent resolves the span parent of a job's spans: the submitter's
+// trace when the spec carries a (Normalize-validated) trace_id, otherwise a
+// fresh trace per job.
+func traceParent(spec JobSpec) obs.SpanContext {
+	var parent obs.SpanContext
+	if spec.TraceID != "" {
+		if id, err := ParseTraceID(spec.TraceID); err == nil {
+			parent.Trace = id
+		}
+	}
+	return parent
+}
+
 // runJob drives one job's online loop end to end.
 func (s *Server) runJob(j *Job) {
 	j.mu.Lock()
 	man := j.man
 	j.mu.Unlock()
 	spec := man.Spec
+
+	// The job-lifetime span brackets everything from first schedule to the
+	// terminal state; granule and decode spans nest under it.
+	jobSpan := s.cfg.Tracer.Start(traceParent(spec), "job.run",
+		obs.Str("job", man.ID), obs.Str("tenant", man.Tenant),
+		obs.Str("attack", spec.Attack), obs.Str("mode", spec.Mode),
+		obs.U64("budget", spec.Budget))
+	outcome := StateFailed
+	defer func() {
+		jobSpan.SetAttrs(obs.Str("outcome", outcome))
+		jobSpan.End()
+	}()
+	jobCtx := jobSpan.Context()
 
 	var model *tkip.PerTSCModel
 	var err error
@@ -345,9 +391,16 @@ func (s *Server) runJob(j *Job) {
 		return nil
 	}
 	feed := &chunkedFeed{
-		chunk:     spec.CaptureChunk,
-		observed:  rt.observed,
-		capture:   rt.capture,
+		chunk:    spec.CaptureChunk,
+		observed: rt.observed,
+		capture: func(target uint64) error {
+			gs := s.cfg.Tracer.Start(jobCtx, "job.granule", obs.U64("target", target))
+			t0 := time.Now() //rc4lint:allow timing granule-latency histogram only; never reaches evidence or persisted state
+			err := rt.capture(target)
+			s.granuleSeconds.ObserveDuration(time.Since(t0)) //rc4lint:allow timing granule-latency histogram only
+			gs.End()
+			return err
+		},
 		gate:      gate,
 		ungate:    s.sched.Release,
 		onAdvance: func(n uint64) { s.obsTotal.Add(float64(n)) },
@@ -357,9 +410,12 @@ func (s *Server) runJob(j *Job) {
 		feed:    feed,
 		gate:    gate,
 		ungate:  s.sched.Release,
+		tracer:  s.cfg.Tracer,
+		parent:  jobCtx,
 		onRound: func(d time.Duration) {
 			s.roundsTotal.Inc()
 			s.decodeSeconds.Add(d.Seconds())
+			s.roundSeconds.ObserveDuration(d)
 		},
 	}
 	// The evidence already holds rounds from a previous incarnation; the
@@ -385,10 +441,13 @@ func (s *Server) runJob(j *Job) {
 	})
 	switch {
 	case runErr == nil, errors.Is(runErr, online.ErrBudgetExhausted):
+		outcome = StateDone
 		s.finishDone(j, rt, dec.rounds, res, runErr)
 	case errors.Is(runErr, errDrained):
+		outcome = StateSuspended
 		s.suspend(j, rt, dec.rounds)
 	case errors.Is(runErr, errInterrupted):
+		outcome = "interrupted"
 		// Crash simulation: no writes, no events — the process "died".
 	default:
 		s.finishFailed(j, rt.observed(), dec.rounds, res, runErr)

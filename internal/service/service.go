@@ -22,7 +22,9 @@ package service
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
+	"rc4break/internal/obs"
 	"rc4break/internal/online"
 )
 
@@ -96,6 +98,11 @@ type JobSpec struct {
 	// Workers bounds per-job capture parallelism (0 = GOMAXPROCS); it
 	// never affects the evidence bytes.
 	Workers int `json:"workers,omitempty"`
+	// TraceID, when set, joins this job's spans to a trace the submitter
+	// already owns: up to 16 hex digits (a 64-bit trace ID). Empty means the
+	// server mints a fresh trace per job. Purely observational — it never
+	// affects scheduling or evidence.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Normalize validates the spec and fills defaults, returning the resolved
@@ -159,7 +166,27 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 	if s.CheckpointRounds <= 0 {
 		s.CheckpointRounds = 1
 	}
+	if s.TraceID != "" {
+		if _, err := ParseTraceID(s.TraceID); err != nil {
+			return s, err
+		}
+	}
 	return s, nil
+}
+
+// ParseTraceID decodes a submitted trace_id: 1..16 hex digits, nonzero.
+func ParseTraceID(s string) (obs.TraceID, error) {
+	if len(s) > 16 {
+		return 0, fmt.Errorf("service: trace_id %q longer than 16 hex digits", s)
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("service: trace_id %q is not hex: %v", s, err)
+	}
+	if id == 0 {
+		return 0, errors.New("service: trace_id must be nonzero (omit it for a fresh trace)")
+	}
+	return obs.TraceID(id), nil
 }
 
 func (s JobSpec) cadence() online.Cadence {

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rc4break/internal/obs"
+)
+
+// TestJobTracingAndHistograms pins the service's observability surface: a
+// submitted trace_id threads every lifecycle span (admit, run, granule,
+// decode round) onto the submitter's trace, the spans nest correctly, the
+// journal is served live at /debug/trace{,/chrome}, and the latency
+// histogram families appear on /metrics.
+func TestJobTracingAndHistograms(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal := obs.NewJournal("attackd", 1024)
+	s, err := New(Config{Store: store, Capacity: 1, Tracer: journal, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// trace_id is validated at admission.
+	for _, bad := range []string{"not-hex", "00112233445566778899", "0"} {
+		if _, err := s.Submit("mallory", JobSpec{Attack: "cookie", Secret: "C00kie", TraceID: bad}); err == nil {
+			t.Fatalf("trace_id %q accepted, want rejection", bad)
+		}
+	}
+
+	spec := JobSpec{Attack: "cookie", Mode: "model", Seed: 3, Secret: "C00kie",
+		Budget: 1 << 16, FirstDecode: 1 << 15, MaxCandidates: 1 << 8, TraceID: "ab54a98ceb1f0ad2"}
+	st, err := s.Submit("alice", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Wait()
+
+	recs := journal.Snapshot()
+	byName := map[string][]obs.Record{}
+	spanByID := map[uint64]obs.Record{}
+	for _, r := range recs {
+		if r.Trace != 0xab54a98ceb1f0ad2 {
+			t.Fatalf("span %s under trace %x, want the submitted trace", r.Name, r.Trace)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+		spanByID[r.Span] = r
+	}
+	for _, name := range []string{"job.admit", "job.run", "job.granule", "job.decode"} {
+		if len(byName[name]) == 0 {
+			t.Fatalf("no %s spans (have %v)", name, byName)
+		}
+	}
+	run := byName["job.run"][0]
+	attrs := map[string]string{}
+	for _, a := range run.Attrs {
+		attrs[a.Key] = a.Str
+	}
+	if attrs["tenant"] != "alice" || attrs["job"] != st.ID || attrs["outcome"] == "" {
+		t.Fatalf("job.run attrs %v", attrs)
+	}
+	for _, name := range []string{"job.granule", "job.decode"} {
+		for _, r := range byName[name] {
+			if r.Parent != run.Span {
+				t.Fatalf("%s parent %x, want the job.run span %x", name, r.Parent, run.Span)
+			}
+		}
+	}
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.Bytes()
+	}
+	if code, body := get("/debug/trace"); code != http.StatusOK || !bytes.Contains(body, []byte(`"job.run"`)) {
+		t.Fatalf("/debug/trace: http %d, job.run missing", code)
+	}
+	if code, body := get("/debug/trace/chrome"); code != http.StatusOK || !bytes.Contains(body, []byte(`"traceEvents"`)) {
+		t.Fatalf("/debug/trace/chrome: http %d, not a trace-event document", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: http %d", code)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: http %d", code)
+	}
+	for _, family := range []string{
+		"attackd_decode_round_seconds_bucket", "attackd_decode_round_seconds_count",
+		"attackd_granule_seconds_bucket", "attackd_http_request_seconds_bucket",
+		"go_goroutines", "go_heap_alloc_bytes",
+	} {
+		if !bytes.Contains(body, []byte(family)) {
+			t.Fatalf("/metrics missing %s", family)
+		}
+	}
+}
+
+// TestTracingBitwiseIdenticalService pins the hot-path rule at the service
+// layer: the same spec run with and without a Tracer produces identical
+// evidence blobs and results.
+func TestTracingBitwiseIdenticalService(t *testing.T) {
+	spec := JobSpec{Attack: "cookie", Mode: "model", Seed: 11, Secret: "C00kie",
+		Budget: 1 << 16, FirstDecode: 1 << 15, MaxCandidates: 1 << 8}
+	run := func(tracer *obs.Journal) ([]byte, JobStatus) {
+		store, err := OpenStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{Store: store, Capacity: 1, Tracer: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Submit("t", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Wait()
+		ev, err := s.EvidenceBytes(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err = s.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev, st
+	}
+	evPlain, stPlain := run(nil)
+	evTraced, stTraced := run(obs.NewJournal("attackd", 1024))
+	if !bytes.Equal(evPlain, evTraced) {
+		t.Fatalf("evidence differs with tracing on: %d vs %d bytes", len(evPlain), len(evTraced))
+	}
+	if stPlain.State != stTraced.State || stPlain.Observed != stTraced.Observed ||
+		stPlain.Rounds != stTraced.Rounds || stPlain.Rank != stTraced.Rank ||
+		stPlain.Success != stTraced.Success {
+		t.Fatalf("status differs with tracing on:\n  plain  %+v\n  traced %+v", stPlain, stTraced)
+	}
+}

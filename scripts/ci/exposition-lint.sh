@@ -1,0 +1,52 @@
+#!/bin/sh
+# exposition-lint.sh
+#
+# CI smoke gate over the daemons' live observability surface: start attackd
+# and fleetd on loopback, wait for their health endpoints, scrape /metrics,
+# and validate the exposition text with scripts/promlint — including the
+# acceptance floor of at least 3 histogram families per daemon. Also probes
+# /debug/trace and /debug/trace/chrome so a broken debug mount fails here.
+#
+# Expects bin/attackd and bin/fleetd to be built (the CI step does this).
+set -eu
+
+ATTACKD_ADDR=127.0.0.1:17200
+FLEETD_HTTP=127.0.0.1:17101
+tmp=$(mktemp -d)
+
+cleanup() {
+    kill "$attackd_pid" "$fleetd_pid" 2>/dev/null || true
+    wait "$attackd_pid" "$fleetd_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+bin/attackd -listen "$ATTACKD_ADDR" -store "$tmp/store" >"$tmp/attackd.log" 2>&1 &
+attackd_pid=$!
+bin/fleetd -listen 127.0.0.1:17100 -http "$FLEETD_HTTP" -attack cookie >"$tmp/fleetd.log" 2>&1 &
+fleetd_pid=$!
+
+wait_healthy() {
+    url=$1
+    for _ in $(seq 1 50); do
+        if curl -fsS "$url" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "daemon at $url never became healthy" >&2
+    cat "$tmp"/*.log >&2
+    return 1
+}
+wait_healthy "http://$ATTACKD_ADDR/healthz"
+wait_healthy "http://$FLEETD_HTTP/healthz"
+
+# The debug surface must answer: NDJSON journal and a Chrome trace document.
+curl -fsS "http://$ATTACKD_ADDR/debug/trace" >/dev/null
+curl -fsS "http://$ATTACKD_ADDR/debug/trace/chrome" | grep -q traceEvents
+curl -fsS "http://$FLEETD_HTTP/debug/trace" >/dev/null
+curl -fsS "http://$FLEETD_HTTP/debug/trace/chrome" | grep -q traceEvents
+
+curl -fsS "http://$ATTACKD_ADDR/metrics" >"$tmp/attackd.metrics"
+curl -fsS "http://$FLEETD_HTTP/metrics" >"$tmp/fleetd.metrics"
+go run ./scripts/promlint -min-histograms 3 "$tmp/attackd.metrics" "$tmp/fleetd.metrics"

@@ -1,0 +1,405 @@
+// Command promlint validates Prometheus text-exposition output — the CI
+// smoke gate over the daemons' live /metrics endpoints. It accepts files or
+// http:// URLs, parses every line strictly, and enforces both the format's
+// rules and this repo's renderer invariants:
+//
+//   - every sample line parses: metric name, well-formed label set (escaped
+//     values), float value (including NaN/+Inf/-Inf spellings)
+//   - every sample belongs to the family most recently declared by # TYPE
+//     (histograms may extend the name with _bucket/_sum/_count)
+//   - each family has exactly one # HELP and one # TYPE, in that order,
+//     with a known type
+//   - families render in sorted order and no series repeats — the
+//     determinism contract internal/metrics.Render promises
+//   - histograms are internally consistent: le buckets sorted and
+//     cumulative, a +Inf bucket present and equal to _count
+//
+// -min-histograms N additionally fails unless at least N histogram
+// families are present (the observability acceptance floor).
+//
+//	go run ./scripts/promlint -min-histograms 3 http://127.0.0.1:7200/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func main() {
+	minHistograms := flag.Int("min-histograms", 0, "fail unless at least this many histogram families are present")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: promlint [-min-histograms N] <file-or-url>...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, arg := range flag.Args() {
+		text, err := read(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", arg, err)
+			failed = true
+			continue
+		}
+		errs, histograms := lint(text)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %s\n", arg, e)
+		}
+		if len(errs) > 0 {
+			failed = true
+		}
+		if *minHistograms > 0 && histograms < *minHistograms {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %d histogram families, want >= %d\n", arg, histograms, *minHistograms)
+			failed = true
+		}
+		if len(errs) == 0 {
+			fmt.Printf("promlint: %s: ok (%d histogram families)\n", arg, histograms)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func read(arg string) (string, error) {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		resp, err := http.Get(arg)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("http %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+	b, err := os.ReadFile(arg)
+	return string(b), err
+}
+
+// family accumulates one metric family's declared metadata and samples.
+type family struct {
+	name    string
+	typ     string
+	help    bool
+	samples []sample
+}
+
+type sample struct {
+	name   string
+	labels string // canonical sorted label string, le excluded for buckets
+	le     string
+	value  float64
+	line   int
+}
+
+func lint(text string) (errs []string, histograms int) {
+	bad := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	var families []*family
+	var cur *family
+	seen := map[string]int{} // family name -> first line
+	series := map[string]int{}
+	for i, line := range strings.Split(text, "\n") {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !nameRe.MatchString(name) {
+				bad(n, "malformed HELP line %q", line)
+				continue
+			}
+			if at, dup := seen[name]; dup {
+				bad(n, "family %s re-declared (first at line %d)", name, at)
+				continue
+			}
+			seen[name] = n
+			cur = &family{name: name, help: true}
+			families = append(families, cur)
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				bad(n, "malformed TYPE line %q", line)
+				continue
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				bad(n, "unknown metric type %q for %s", typ, name)
+			}
+			if cur == nil || cur.name != name {
+				bad(n, "TYPE for %s without a preceding HELP", name)
+				cur = &family{name: name}
+				families = append(families, cur)
+			}
+			cur.typ = typ
+		case strings.HasPrefix(line, "#"):
+			// other comments are legal and ignored
+		default:
+			s, err := parseSample(line)
+			if err != nil {
+				bad(n, "%v", err)
+				continue
+			}
+			s.line = n
+			if cur == nil {
+				bad(n, "sample %s before any family declaration", s.name)
+				continue
+			}
+			base := s.name
+			if cur.typ == "histogram" {
+				base = strings.TrimSuffix(base, "_bucket")
+				base = strings.TrimSuffix(base, "_sum")
+				base = strings.TrimSuffix(base, "_count")
+			}
+			if base != cur.name {
+				bad(n, "sample %s outside its family block (current family %s)", s.name, cur.name)
+				continue
+			}
+			key := s.name + "{" + s.labels + `,le="` + s.le + `"}`
+			if at, dup := series[key]; dup {
+				bad(n, "duplicate series %s (first at line %d)", key, at)
+			}
+			series[key] = n
+			cur.samples = append(cur.samples, s)
+		}
+	}
+
+	names := make([]string, 0, len(families))
+	for _, f := range families {
+		names = append(names, f.name)
+		if !f.help {
+			errs = append(errs, fmt.Sprintf("family %s has no HELP line", f.name))
+		}
+		if f.typ == "" {
+			errs = append(errs, fmt.Sprintf("family %s has no TYPE line", f.name))
+		}
+		if f.typ == "histogram" {
+			histograms++
+			errs = append(errs, lintHistogram(f)...)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		errs = append(errs, fmt.Sprintf("families not rendered in sorted order: %v", names))
+	}
+	return errs, histograms
+}
+
+// parseSample parses one sample line into name, canonical labels (minus the
+// le label, returned separately), and value.
+func parseSample(line string) (sample, error) {
+	var s sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.name = rest[:brace]
+		end, labels, err := parseLabels(rest[brace:])
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %v", line, err)
+		}
+		for _, l := range labels {
+			if l.name == "le" {
+				s.le = l.value
+			}
+		}
+		var parts []string
+		for _, l := range labels {
+			if l.name != "le" {
+				parts = append(parts, l.name+`=`+strconv.Quote(l.value))
+			}
+		}
+		sort.Strings(parts)
+		s.labels = strings.Join(parts, ",")
+		rest = rest[brace+end:]
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q: no value", line)
+		}
+		s.name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !nameRe.MatchString(s.name) {
+		return s, fmt.Errorf("sample %q: bad metric name %q", line, s.name)
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal; our renderer never emits one,
+	// but tolerate it for generality.
+	valStr, _, _ := strings.Cut(rest, " ")
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", line, valStr)
+	}
+	s.value = v
+	return s, nil
+}
+
+type label struct{ name, value string }
+
+// parseLabels parses a {name="value",...} block starting at s[0] == '{',
+// returning the index just past the closing brace.
+func parseLabels(s string) (end int, labels []label, err error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return 0, nil, fmt.Errorf("label without value")
+		}
+		name := s[i:j]
+		if !labelRe.MatchString(name) {
+			return 0, nil, fmt.Errorf("bad label name %q", name)
+		}
+		if j+1 >= len(s) || s[j+1] != '"' {
+			return 0, nil, fmt.Errorf("label %s: unquoted value", name)
+		}
+		var val strings.Builder
+		k := j + 2
+		for {
+			if k >= len(s) {
+				return 0, nil, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[k]
+			if c == '"' {
+				k++
+				break
+			}
+			if c == '\\' {
+				if k+1 >= len(s) {
+					return 0, nil, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[k+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %s: invalid escape \\%c", name, s[k+1])
+				}
+				k += 2
+				continue
+			}
+			if c == '\n' {
+				return 0, nil, fmt.Errorf("label %s: raw newline in value", name)
+			}
+			val.WriteByte(c)
+			k++
+		}
+		labels = append(labels, label{name, val.String()})
+		i = k
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// lintHistogram checks the bucket/sum/count consistency of one histogram
+// family, per distinct non-le label set.
+func lintHistogram(f *family) (errs []string) {
+	type group struct {
+		les    []string
+		counts map[string]float64
+		count  float64
+		hasCnt bool
+	}
+	groups := map[string]*group{}
+	for _, s := range f.samples {
+		g := groups[s.labels]
+		if g == nil {
+			g = &group{counts: map[string]float64{}}
+			groups[s.labels] = g
+		}
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			g.les = append(g.les, s.le)
+			g.counts[s.le] = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			g.count = s.value
+			g.hasCnt = true
+		}
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		where := f.name
+		if k != "" {
+			where += "{" + k + "}"
+		}
+		if len(g.les) == 0 {
+			errs = append(errs, fmt.Sprintf("histogram %s has no buckets", where))
+			continue
+		}
+		if g.les[len(g.les)-1] != "+Inf" {
+			errs = append(errs, fmt.Sprintf("histogram %s: last bucket le=%q, want +Inf", where, g.les[len(g.les)-1]))
+		}
+		prevBound := math.Inf(-1)
+		prevCount := 0.0
+		for _, le := range g.les {
+			bound, err := parseValue(le)
+			if err != nil {
+				errs = append(errs, fmt.Sprintf("histogram %s: bad le %q", where, le))
+				continue
+			}
+			if bound <= prevBound {
+				errs = append(errs, fmt.Sprintf("histogram %s: le %q out of order", where, le))
+			}
+			if g.counts[le] < prevCount {
+				errs = append(errs, fmt.Sprintf("histogram %s: bucket le=%q count %g below previous %g (not cumulative)",
+					where, le, g.counts[le], prevCount))
+			}
+			prevBound, prevCount = bound, g.counts[le]
+		}
+		if g.hasCnt && g.counts["+Inf"] != g.count {
+			errs = append(errs, fmt.Sprintf("histogram %s: +Inf bucket %g != _count %g", where, g.counts["+Inf"], g.count))
+		}
+		if !g.hasCnt {
+			errs = append(errs, fmt.Sprintf("histogram %s has no _count", where))
+		}
+	}
+	return errs
+}
